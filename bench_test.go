@@ -1,0 +1,455 @@
+// Benchmarks that regenerate every table and figure of the paper from
+// the simulated backbones, plus the ablations DESIGN.md calls out.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The four backbone simulations run once and are shared by all
+// benchmarks; each benchmark then measures the detection/analysis work
+// for its experiment and prints the regenerated table or figure
+// (stdout, first iteration only).
+package loopscope_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"loopscope/internal/analysis"
+	"loopscope/internal/baseline"
+	"loopscope/internal/core"
+	"loopscope/internal/netsim"
+	"loopscope/internal/packet"
+	"loopscope/internal/routing"
+	"loopscope/internal/scenario"
+	"loopscope/internal/stats"
+	"loopscope/internal/trace"
+	"loopscope/internal/traffic"
+)
+
+type bbRun struct {
+	spec scenario.Spec
+	net  *netsim.Network
+	meta trace.Meta
+	recs []trace.Record
+	res  *core.Result
+	rep  *analysis.Report
+}
+
+var (
+	bbOnce sync.Once
+	bbRuns []*bbRun
+)
+
+// backbones simulates the paper's four traces once per test binary.
+func backbones(b *testing.B) []*bbRun {
+	b.Helper()
+	bbOnce.Do(func() {
+		for _, spec := range scenario.PaperBackbones() {
+			bb := scenario.Build(spec)
+			bb.Run()
+			recs := bb.Records()
+			res := core.DetectRecords(recs, core.DefaultConfig())
+			rep := analysis.Analyze(bb.Meta(), recs, res)
+			bbRuns = append(bbRuns, &bbRun{
+				spec: spec, net: bb.Net, meta: bb.Meta(),
+				recs: recs, res: res, rep: rep,
+			})
+		}
+	})
+	return bbRuns
+}
+
+func reports(runs []*bbRun) []*analysis.Report {
+	out := make([]*analysis.Report, len(runs))
+	for i, r := range runs {
+		out[i] = r.rep
+	}
+	return out
+}
+
+var printOnce sync.Map
+
+// printFirst prints s once per benchmark name across all iterations.
+func printFirst(name, s string) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n%s\n", s)
+	}
+}
+
+// detectAll re-runs detection over every trace (the measured unit of
+// the table benchmarks).
+func detectAll(runs []*bbRun, cfg core.Config) []*core.Result {
+	out := make([]*core.Result, len(runs))
+	for i, r := range runs {
+		out[i] = core.DetectRecords(r.recs, cfg)
+	}
+	return out
+}
+
+// BenchmarkTableI regenerates Table I: per-trace length, bandwidth,
+// packet and looped-packet counts. The measured work is full detection
+// over all four traces.
+func BenchmarkTableI(b *testing.B) {
+	runs := backbones(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detectAll(runs, core.DefaultConfig())
+	}
+	b.StopTimer()
+	printFirst("table1", analysis.RenderTableI(reports(runs)))
+	var looped int
+	for _, r := range runs {
+		looped += r.rep.LoopedPackets
+	}
+	b.ReportMetric(float64(looped), "looped-pkts")
+}
+
+// BenchmarkTableII regenerates Table II: replica streams vs merged
+// routing loops per trace. The measured work is the merge step
+// (detection re-run with merging).
+func BenchmarkTableII(b *testing.B) {
+	runs := backbones(b)
+	b.ResetTimer()
+	var loops int
+	for i := 0; i < b.N; i++ {
+		loops = 0
+		for _, res := range detectAll(runs, core.DefaultConfig()) {
+			loops += len(res.Loops)
+		}
+	}
+	b.StopTimer()
+	printFirst("table2", analysis.RenderTableII(reports(runs)))
+	b.ReportMetric(float64(loops), "loops")
+}
+
+// benchFigure is the shared harness for figure benchmarks: measures
+// the analysis extraction and prints the regenerated figure.
+func benchFigure(b *testing.B, name string, render func([]*analysis.Report) string) {
+	runs := backbones(b)
+	b.ResetTimer()
+	var reps []*analysis.Report
+	for i := 0; i < b.N; i++ {
+		reps = reps[:0]
+		for _, r := range runs {
+			reps = append(reps, analysis.Analyze(r.meta, r.recs, r.res))
+		}
+	}
+	b.StopTimer()
+	printFirst(name, render(reps))
+}
+
+// BenchmarkFigure2 regenerates the TTL-delta distribution.
+func BenchmarkFigure2(b *testing.B) { benchFigure(b, "fig2", analysis.RenderFigure2) }
+
+// BenchmarkFigure3 regenerates the CDF of replicas per stream.
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, "fig3", analysis.RenderFigure3) }
+
+// BenchmarkFigure4 regenerates the CDF of inter-replica spacing.
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, "fig4", analysis.RenderFigure4) }
+
+// BenchmarkFigure5 regenerates the traffic-type mix of all traffic.
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, "fig5", analysis.RenderFigure5) }
+
+// BenchmarkFigure6 regenerates the traffic-type mix of looped traffic.
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, "fig6", analysis.RenderFigure6) }
+
+// BenchmarkFigure7 regenerates the destination time series (plotted
+// for one trace, as in the paper).
+func BenchmarkFigure7(b *testing.B) {
+	benchFigure(b, "fig7", func(reps []*analysis.Report) string {
+		s := analysis.RenderFigure7(reps[3], 25)
+		for _, r := range reps {
+			s += fmt.Sprintf("%s: class-C fraction %.2f\n", r.Link, r.ClassCFraction())
+		}
+		return s
+	})
+}
+
+// BenchmarkFigure8 regenerates the CDF of replica-stream duration.
+func BenchmarkFigure8(b *testing.B) { benchFigure(b, "fig8", analysis.RenderFigure8) }
+
+// BenchmarkFigure9 regenerates the CDF of routing-loop duration.
+func BenchmarkFigure9(b *testing.B) { benchFigure(b, "fig9", analysis.RenderFigure9) }
+
+// BenchmarkLossImpact regenerates the §VI per-minute loss analysis.
+func BenchmarkLossImpact(b *testing.B) {
+	runs := backbones(b)
+	b.ResetTimer()
+	var max float64
+	for i := 0; i < b.N; i++ {
+		max = 0
+		for _, r := range runs {
+			lr := analysis.AnalyzeLoss(r.net)
+			if lr.MaxLoopShare > max {
+				max = lr.MaxLoopShare
+			}
+		}
+	}
+	b.StopTimer()
+	var out string
+	for _, r := range runs {
+		out += analysis.RenderLoss(r.spec.Name, analysis.AnalyzeLoss(r.net))
+	}
+	printFirst("loss", out)
+	b.ReportMetric(max*100, "worst-minute-loop-share-%")
+}
+
+// BenchmarkEscapeDelay regenerates the §VI escape/extra-delay
+// analysis.
+func BenchmarkEscapeDelay(b *testing.B) {
+	runs := backbones(b)
+	b.ResetTimer()
+	var dr *analysis.DelayReport
+	for i := 0; i < b.N; i++ {
+		for _, r := range runs {
+			dr = analysis.AnalyzeDelay(r.net)
+		}
+	}
+	b.StopTimer()
+	var out string
+	for _, r := range runs {
+		out += analysis.RenderDelay(r.spec.Name, analysis.AnalyzeDelay(r.net))
+	}
+	printFirst("delay", out)
+	if dr.ExtraDelayMs.N() > 0 {
+		b.ReportMetric(dr.ExtraDelayMs.Quantile(0.5), "p50-extra-ms")
+	}
+}
+
+// BenchmarkMergeWindowAblation sweeps the step-3 merge window (1, 2, 5
+// minutes; the paper's §IV-A.3 footnote).
+func BenchmarkMergeWindowAblation(b *testing.B) {
+	runs := backbones(b)
+	windows := []time.Duration{time.Minute, 2 * time.Minute, 5 * time.Minute}
+	counts := make([]int, len(windows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for wi, w := range windows {
+			cfg := core.DefaultConfig()
+			cfg.MergeWindow = w
+			counts[wi] = 0
+			for _, res := range detectAll(runs, cfg) {
+				counts[wi] += len(res.Loops)
+			}
+		}
+	}
+	b.StopTimer()
+	out := "Merge-window ablation (total loops across traces):\n"
+	for wi, w := range windows {
+		out += fmt.Sprintf("  %-4s  %d\n", w, counts[wi])
+	}
+	printFirst("ablation-merge", out)
+}
+
+// BenchmarkMinReplicasAblation sweeps the minimum stream size (2
+// admits the link-layer duplicates the paper excludes).
+func BenchmarkMinReplicasAblation(b *testing.B) {
+	runs := backbones(b)
+	mins := []int{2, 3, 4}
+	counts := make([]int, len(mins))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for mi, m := range mins {
+			cfg := core.DefaultConfig()
+			cfg.MinReplicas = m
+			counts[mi] = 0
+			for _, res := range detectAll(runs, cfg) {
+				counts[mi] += len(res.Streams)
+			}
+		}
+	}
+	b.StopTimer()
+	out := "Min-replicas ablation (total streams across traces):\n"
+	for mi, m := range mins {
+		out += fmt.Sprintf("  %d  %d\n", m, counts[mi])
+	}
+	printFirst("ablation-minrep", out)
+}
+
+// BenchmarkTTLDeltaAblation sweeps the minimum TTL delta (1 admits
+// NAT/load-balancer artefacts the paper excludes).
+func BenchmarkTTLDeltaAblation(b *testing.B) {
+	runs := backbones(b)
+	deltas := []int{1, 2, 3}
+	counts := make([]int, len(deltas))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for di, d := range deltas {
+			cfg := core.DefaultConfig()
+			cfg.MinTTLDelta = d
+			counts[di] = 0
+			for _, res := range detectAll(runs, cfg) {
+				counts[di] += len(res.Streams)
+			}
+		}
+	}
+	b.StopTimer()
+	out := "Min-TTL-delta ablation (total streams across traces):\n"
+	for di, d := range deltas {
+		out += fmt.Sprintf("  %d  %d\n", d, counts[di])
+	}
+	printFirst("ablation-delta", out)
+}
+
+// BenchmarkPrefixBitsAblation sweeps the aggregation width used for
+// validation and merging (the paper uses /24).
+func BenchmarkPrefixBitsAblation(b *testing.B) {
+	runs := backbones(b)
+	bitses := []int{16, 24, 32}
+	counts := make([]int, len(bitses))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for bi, bits := range bitses {
+			cfg := core.DefaultConfig()
+			cfg.PrefixBits = bits
+			counts[bi] = 0
+			for _, res := range detectAll(runs, cfg) {
+				counts[bi] += len(res.Loops)
+			}
+		}
+	}
+	b.StopTimer()
+	out := "Prefix-bits ablation (total loops across traces):\n"
+	for bi, bits := range bitses {
+		out += fmt.Sprintf("  /%d  %d\n", bits, counts[bi])
+	}
+	printFirst("ablation-prefix", out)
+}
+
+// BenchmarkBaselineComparison runs a traceroute prober against a
+// scaled backbone and compares active vs passive detection (§III).
+func BenchmarkBaselineComparison(b *testing.B) {
+	var out string
+	var seen, gtN, passive int
+	for i := 0; i < b.N; i++ {
+		spec := scenario.PaperBackbones()[2]
+		spec.Duration = 120 * time.Second
+		spec.PacketsPerSecond = 500
+		bb := scenario.Build(spec)
+		var dsts []packet.Addr
+		for j, p := range bb.DestPrefixes {
+			if j%8 == 0 {
+				dsts = append(dsts, packet.AddrFromUint32(p.Addr.Uint32()+7))
+			}
+		}
+		pr := baseline.NewProber(bb.Net, bb.Net.Router(0),
+			packet.MustParseAddr("10.10.255.254"), dsts, baseline.DefaultConfig())
+		pr.Start(spec.Duration)
+		bb.Run()
+		res := core.DetectRecords(bb.Records(), core.DefaultConfig())
+		seen = pr.LoopsDetected()
+		gtN = len(bb.Net.GroundTruthWindows(time.Minute))
+		passive = len(res.Loops)
+		out = fmt.Sprintf("Baseline comparison: ground truth %d loop windows; passive detector %d loops; active probing saw %d\n",
+			gtN, passive, seen)
+	}
+	printFirst("baseline", out)
+	b.ReportMetric(float64(passive), "passive-loops")
+	b.ReportMetric(float64(seen), "active-loops")
+}
+
+// BenchmarkDetectorThroughput measures raw detection speed on a large
+// synthesized trace (records/second), the figure that matters for
+// applying the tool to real multi-hour captures.
+func BenchmarkDetectorThroughput(b *testing.B) {
+	rng := stats.NewRNG(9)
+	var dests []routing.Prefix
+	for i := 0; i < 256; i++ {
+		dests = append(dests, routing.NewPrefix(packet.AddrFrom(198, byte(20+i/256), byte(i), 0), 24))
+	}
+	cfg := traffic.SynthConfig{
+		Duration: 60 * time.Second, PacketsPerSecond: 20000,
+		Mix: traffic.DefaultMix(), DestPrefixes: dests,
+		HopsMin: 3, HopsMax: 10,
+	}
+	for i := 0; i < 12; i++ {
+		cfg.Loops = append(cfg.Loops, traffic.LoopSpec{
+			Prefix:   dests[rng.Intn(len(dests))],
+			Start:    time.Duration(rng.Int63n(int64(50 * time.Second))),
+			Duration: time.Duration(200+rng.Intn(3000)) * time.Millisecond,
+			TTLDelta: 2 + rng.Intn(4), Revolution: 3 * time.Millisecond,
+		})
+	}
+	recs := traffic.Synthesize(cfg, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DetectRecords(recs, core.DefaultConfig())
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkNaiveVsIndexed quantifies the hash index against the naive
+// pairwise scan on the same trace (DESIGN.md ablation 5).
+func BenchmarkNaiveVsIndexed(b *testing.B) {
+	rng := stats.NewRNG(10)
+	var dests []routing.Prefix
+	for i := 0; i < 64; i++ {
+		dests = append(dests, routing.NewPrefix(packet.AddrFrom(198, 30, byte(i), 0), 24))
+	}
+	cfg := traffic.SynthConfig{
+		Duration: 20 * time.Second, PacketsPerSecond: 5000,
+		Mix: traffic.DefaultMix(), DestPrefixes: dests,
+		HopsMin: 3, HopsMax: 10,
+		Loops: []traffic.LoopSpec{{
+			Prefix: dests[3], Start: 5 * time.Second,
+			Duration: 2 * time.Second, TTLDelta: 2, Revolution: 3 * time.Millisecond,
+		}},
+	}
+	recs := traffic.Synthesize(cfg, rng)
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.DetectRecords(recs, core.DefaultConfig())
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.NaiveDetectRecords(recs, core.DefaultConfig())
+		}
+	})
+}
+
+// BenchmarkStreamingVsBatch compares the bounded-memory streaming
+// detector with the batch detector on the same trace (they produce
+// identical loops; the trade is allocation footprint vs loop latency).
+func BenchmarkStreamingVsBatch(b *testing.B) {
+	rng := stats.NewRNG(14)
+	var dests []routing.Prefix
+	for i := 0; i < 128; i++ {
+		dests = append(dests, routing.NewPrefix(packet.AddrFrom(198, 40, byte(i), 0), 24))
+	}
+	cfg := traffic.SynthConfig{
+		Duration: 60 * time.Second, PacketsPerSecond: 10000,
+		Mix: traffic.DefaultMix(), DestPrefixes: dests,
+		HopsMin: 3, HopsMax: 10,
+	}
+	for i := 0; i < 8; i++ {
+		cfg.Loops = append(cfg.Loops, traffic.LoopSpec{
+			Prefix:     dests[rng.Intn(len(dests))],
+			Start:      time.Duration(rng.Int63n(int64(50 * time.Second))),
+			Duration:   time.Duration(200+rng.Intn(2000)) * time.Millisecond,
+			TTLDelta:   2 + rng.Intn(3),
+			Revolution: 3 * time.Millisecond,
+		})
+	}
+	recs := traffic.Synthesize(cfg, rng)
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.DetectRecords(recs, core.DefaultConfig())
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sd := core.NewStreamDetector(core.DefaultConfig(), nil)
+			for _, r := range recs {
+				sd.Observe(r)
+			}
+			sd.Finish()
+		}
+	})
+}

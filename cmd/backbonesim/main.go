@@ -1,0 +1,110 @@
+// Command backbonesim runs the simulated backbone experiments standing
+// in for the paper's four Sprint traces and writes the captured packet
+// traces to disk (native format by default, pcap with -pcap).
+//
+// Usage:
+//
+//	backbonesim [flags]
+//
+// Examples:
+//
+//	backbonesim -out traces/            # all four backbones
+//	backbonesim -only backbone3 -pcap   # one trace as pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"loopscope/internal/scenario"
+	"loopscope/internal/trace"
+)
+
+func main() {
+	var (
+		outDir = flag.String("out", ".", "output directory")
+		only   = flag.String("only", "", "run a single backbone by name")
+		pcap   = flag.Bool("pcap", false, "write pcap instead of the native format")
+		scale  = flag.Float64("scale", 1.0, "scale factor on duration and rate (0.1 = quick run)")
+	)
+	flag.Parse()
+
+	if err := run(*outDir, *only, *pcap, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "backbonesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir, only string, pcap bool, scale float64) error {
+	if scale <= 0 || scale > 10 {
+		return fmt.Errorf("scale %v out of range (0, 10]", scale)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	ran := 0
+	for _, spec := range scenario.PaperBackbones() {
+		if only != "" && spec.Name != only {
+			continue
+		}
+		ran++
+		spec.Duration = time.Duration(float64(spec.Duration) * scale)
+		spec.PacketsPerSecond *= scale
+
+		start := time.Now()
+		b := scenario.Build(spec)
+		b.Run()
+		recs := b.Records()
+
+		ext := ".lspt"
+		if pcap {
+			ext = ".pcap"
+		}
+		path := filepath.Join(outDir, spec.Name+ext)
+		if err := writeTrace(path, b.Meta(), recs, pcap); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d packets, %d ground-truth loop events -> %s (%v)\n",
+			spec.Name, len(recs), len(b.Net.GroundTruth), path,
+			time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		return fmt.Errorf("no backbone named %q (try backbone1..backbone4)", only)
+	}
+	return nil
+}
+
+func writeTrace(path string, meta trace.Meta, recs []trace.Record, pcap bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var w interface {
+		Write(trace.Record) error
+		Flush() error
+	}
+	if pcap {
+		pw, err := trace.NewPcapWriter(f, meta)
+		if err != nil {
+			return err
+		}
+		w = pw
+	} else {
+		nw, err := trace.NewWriter(f, meta)
+		if err != nil {
+			return err
+		}
+		w = nw
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

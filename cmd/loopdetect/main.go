@@ -1,0 +1,441 @@
+// Command loopdetect runs the routing-loop detector over a packet
+// trace file (loopscope native format or libpcap with raw-IP link
+// type) and prints the per-trace analysis: replica streams, merged
+// loops, TTL-delta distribution, and the summary statistics the paper
+// reports per trace.
+//
+// Usage:
+//
+//	loopdetect [flags] trace-file
+//
+// Examples:
+//
+//	loopdetect backbone1.lspt              # summary + merged loops
+//	loopdetect -streams capture.pcap.gz    # every replica stream (gzip ok)
+//	loopdetect -report backbone1.lspt      # full figure set for the trace
+//	loopdetect -stream huge.pcap           # bounded-memory, loops as they finalize
+//	loopdetect -json backbone1.lspt        # machine-readable output
+//	loopdetect -format erf capture.erf     # DAG PoS records
+//	loopdetect -extract 0 backbone1.lspt   # loop 0's evidence as a pcap
+package main
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"loopscope/internal/analysis"
+	"loopscope/internal/core"
+	"loopscope/internal/trace"
+)
+
+func main() {
+	var (
+		minReplicas = flag.Int("min-replicas", 3, "smallest replica set reported as loop evidence")
+		minDelta    = flag.Int("ttl-delta", 2, "smallest acceptable TTL decrement between replicas")
+		prefixBits  = flag.Int("prefix-bits", 24, "destination aggregation width for validation/merging")
+		mergeWindow = flag.Duration("merge-window", time.Minute, "gap within which same-prefix streams merge")
+		replicaGap  = flag.Duration("replica-gap", 2*time.Second, "max spacing between successive replicas")
+		noValidate  = flag.Bool("no-validate", false, "disable the step-2 subnet validation")
+		showStreams = flag.Bool("streams", false, "dump every validated replica stream")
+		showLoops   = flag.Bool("loops", true, "dump merged routing loops")
+		streamMode  = flag.Bool("stream", false, "bounded-memory streaming mode: print loops as they finalize (for very large traces)")
+		jsonOut     = flag.Bool("json", false, "emit the analysis as JSON instead of text")
+		format      = flag.String("format", "auto", "trace format: auto (sniff native/pcap), or erf (DAG PoS records, which have no magic to sniff)")
+		report      = flag.Bool("report", false, "print the full per-trace report: every figure's series for this trace")
+		extract     = flag.Int("extract", -1, "write loop N's evidence records (replicas + same-prefix context) as a pcap to -extract-out")
+		extractOut  = flag.String("extract-out", "loop.pcap", "output file for -extract")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: loopdetect [flags] trace-file")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	traceFormat = *format
+	cfg := core.Config{
+		MinReplicas:    *minReplicas,
+		MinTTLDelta:    *minDelta,
+		MemberReplicas: 2,
+		PrefixBits:     *prefixBits,
+		MaxReplicaGap:  *replicaGap,
+		MergeWindow:    *mergeWindow,
+		ValidateSubnet: !*noValidate,
+	}
+	if *streamMode {
+		if err := runStreaming(flag.Arg(0), cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "loopdetect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonOut {
+		if err := runJSON(flag.Arg(0), cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "loopdetect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *report {
+		if err := runReport(flag.Arg(0), cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "loopdetect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *extract >= 0 {
+		if err := runExtract(flag.Arg(0), cfg, *extract, *extractOut); err != nil {
+			fmt.Fprintln(os.Stderr, "loopdetect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(flag.Arg(0), cfg, *showStreams, *showLoops); err != nil {
+		fmt.Fprintln(os.Stderr, "loopdetect:", err)
+		os.Exit(1)
+	}
+}
+
+// runReport prints the paper's full figure set for one trace.
+func runReport(path string, cfg core.Config) error {
+	src, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := readAll(src)
+	if err != nil {
+		return err
+	}
+	res := core.DetectRecords(recs, cfg)
+	rep := analysis.Analyze(src.Meta(), recs, res)
+	reps := []*analysis.Report{rep}
+
+	fmt.Print(analysis.RenderTableI(reps))
+	fmt.Println()
+	fmt.Print(analysis.RenderTableII(reps))
+	fmt.Println()
+	fmt.Print(analysis.RenderFigure2(reps))
+	fmt.Println()
+	fmt.Print(analysis.RenderFigure3(reps))
+	fmt.Println()
+	fmt.Print(analysis.RenderFigure4(reps))
+	fmt.Println()
+	fmt.Print(analysis.RenderFigure5(reps))
+	fmt.Println()
+	fmt.Print(analysis.RenderFigure6(reps))
+	fmt.Println()
+	fmt.Print(analysis.RenderFigure7(rep, 30))
+	fmt.Println()
+	fmt.Print(analysis.RenderFigure8(reps))
+	fmt.Println()
+	fmt.Print(analysis.RenderFigure9(reps))
+	fmt.Println()
+
+	var end time.Duration
+	if n := len(recs); n > 0 {
+		end = recs[n-1].Time
+	}
+	split := res.SplitPersistence(end, cfg.MergeWindow, time.Minute)
+	fmt.Printf("persistence: %d transient, %d persistent loops\n",
+		len(split.Transient), len(split.Persistent))
+	if f := rep.ReservedICMPFraction(); f > 0 {
+		fmt.Printf("anomaly: %.2f%% of ICMP uses reserved type fields\n", 100*f)
+	}
+	fmt.Printf("escapes: %d streams (%.1f%%)\n", rep.EscapedStreams, 100*rep.EscapeFraction())
+	return nil
+}
+
+// runExtract writes one loop's evidence as a standalone pcap — the
+// artifact to hand to a neighboring NOC.
+func runExtract(path string, cfg core.Config, n int, outPath string) error {
+	src, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := readAll(src)
+	if err != nil {
+		return err
+	}
+	res := core.DetectRecords(recs, cfg)
+	if n >= len(res.Loops) {
+		return fmt.Errorf("loop %d does not exist (%d loops detected)", n, len(res.Loops))
+	}
+	l := res.Loops[n]
+	evidence := core.ExtractLoopRecords(recs, l, 5*time.Second)
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	w, err := trace.NewPcapWriter(out, src.Meta())
+	if err != nil {
+		return err
+	}
+	for _, r := range evidence {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("loop %d (%v, %v..%v): %d evidence records -> %s\n",
+		n, l.Prefix, l.Start.Round(time.Millisecond), l.End.Round(time.Millisecond),
+		len(evidence), outPath)
+	return nil
+}
+
+// jsonStream / jsonLoop / jsonResult are the machine-readable output
+// schema; durations are nanoseconds.
+type jsonStream struct {
+	ID       int    `json:"id"`
+	Src      string `json:"src"`
+	Dst      string `json:"dst"`
+	Protocol uint8  `json:"protocol"`
+	Replicas int    `json:"replicas"`
+	TTLDelta int    `json:"ttlDelta"`
+	StartNs  int64  `json:"startNs"`
+	EndNs    int64  `json:"endNs"`
+	Escaped  bool   `json:"escaped"`
+}
+
+type jsonLoop struct {
+	Prefix   string `json:"prefix"`
+	StartNs  int64  `json:"startNs"`
+	EndNs    int64  `json:"endNs"`
+	Streams  []int  `json:"streamIds"`
+	Replicas int    `json:"replicas"`
+}
+
+type jsonResult struct {
+	Link              string       `json:"link"`
+	Packets           int          `json:"packets"`
+	DurationNs        int64        `json:"durationNs"`
+	AvgBandwidthMbps  float64      `json:"avgBandwidthMbps"`
+	LoopedPackets     int          `json:"loopedPackets"`
+	PairsDiscarded    int          `json:"pairsDiscarded"`
+	SubnetInvalidated int          `json:"subnetInvalidated"`
+	Streams           []jsonStream `json:"streams"`
+	Loops             []jsonLoop   `json:"loops"`
+}
+
+// runJSON emits the whole analysis as one JSON document on stdout.
+func runJSON(path string, cfg core.Config) error {
+	src, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := readAll(src)
+	if err != nil {
+		return err
+	}
+	res := core.DetectRecords(recs, cfg)
+	rep := analysis.Analyze(src.Meta(), recs, res)
+
+	out := jsonResult{
+		Link:              src.Meta().Link,
+		Packets:           rep.TotalPackets,
+		DurationNs:        int64(rep.Duration),
+		AvgBandwidthMbps:  rep.AvgBandwidthMbps,
+		LoopedPackets:     rep.LoopedPackets,
+		PairsDiscarded:    res.PairsDiscarded,
+		SubnetInvalidated: res.SubnetInvalidated,
+		Streams:           []jsonStream{},
+		Loops:             []jsonLoop{},
+	}
+	for _, s := range res.Streams {
+		out.Streams = append(out.Streams, jsonStream{
+			ID: s.ID, Src: s.Summary.Src.String(), Dst: s.Summary.Dst.String(),
+			Protocol: s.Summary.Protocol, Replicas: s.Count(), TTLDelta: s.TTLDelta(),
+			StartNs: int64(s.Start()), EndNs: int64(s.End()), Escaped: s.Escaped(),
+		})
+	}
+	for _, l := range res.Loops {
+		jl := jsonLoop{
+			Prefix: l.Prefix.String(), StartNs: int64(l.Start), EndNs: int64(l.End),
+			Replicas: l.Replicas(), Streams: []int{},
+		}
+		for _, s := range l.Streams {
+			jl.Streams = append(jl.Streams, s.ID)
+		}
+		out.Loops = append(out.Loops, jl)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// runStreaming processes the trace record by record with the
+// bounded-memory detector, printing loops as they finalize. Memory
+// stays proportional to the undecided tail of the trace, so this mode
+// handles captures far larger than RAM.
+func runStreaming(path string, cfg core.Config) error {
+	src, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	loops := 0
+	sd := core.NewStreamDetector(cfg, func(l *core.Loop) {
+		loops++
+		fmt.Printf("loop %3d: %-18s  %v .. %v  (%v)  %d streams, %d replicas\n",
+			loops, l.Prefix, l.Start.Round(time.Millisecond), l.End.Round(time.Millisecond),
+			l.Duration().Round(time.Millisecond), len(l.Streams), l.Replicas())
+	})
+	for {
+		rec, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		sd.Observe(rec)
+	}
+	stats := sd.Finish()
+	fmt.Printf("\n%d packets, %d looped in %d streams, %d loops (pairs discarded %d, subnet-invalidated %d)\n",
+		stats.TotalPackets, stats.LoopedPackets, stats.Streams, loops,
+		stats.PairsDiscarded, stats.SubnetInvalidated)
+	return nil
+}
+
+// traceFormat is the -format flag value ("auto" or "erf").
+var traceFormat = "auto"
+
+// openTrace sniffs the file format from its magic bytes, transparently
+// unwrapping gzip (so multi-gigabyte captures can stay compressed on
+// disk). ERF carries no magic, so it is selected explicitly via
+// -format erf.
+func openTrace(path string) (trace.Source, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("reading magic: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	var r io.Reader = f
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("opening gzip stream: %w", err)
+		}
+		if _, err := io.ReadFull(gz, magic[:]); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("reading magic inside gzip: %w", err)
+		}
+		// Re-open the gzip stream from the start; gzip readers do not
+		// seek.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		gz, err = gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		r = gz
+	}
+	if traceFormat == "erf" {
+		src, err := trace.NewERFReader(r)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return src, f, nil
+	}
+	if magic == [4]byte{'L', 'S', 'P', 'T'} {
+		src, err := trace.NewReader(r)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return src, f, nil
+	}
+	src, err := trace.NewPcapReader(r)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("not a native or pcap trace (optionally gzipped): %w", err)
+	}
+	return src, f, nil
+}
+
+func run(path string, cfg core.Config, showStreams, showLoops bool) error {
+	src, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	recs, err := readAll(src)
+	if err != nil {
+		return err
+	}
+	res := core.DetectRecords(recs, cfg)
+	rep := analysis.Analyze(src.Meta(), recs, res)
+
+	fmt.Printf("trace %s: %d packets over %v (%.1f Mbps avg)\n",
+		src.Meta().Link, rep.TotalPackets, rep.Duration.Round(time.Second), rep.AvgBandwidthMbps)
+	fmt.Printf("replica streams: %d (pairs discarded %d, subnet-invalidated %d)\n",
+		rep.ReplicaStreams, res.PairsDiscarded, res.SubnetInvalidated)
+	fmt.Printf("routing loops:   %d\n", rep.RoutingLoops)
+	fmt.Printf("looped packets:  %d (%.5f%% of traffic)\n",
+		rep.LoopedPackets, 100*float64(rep.LoopedPackets)/float64(max(rep.TotalPackets, 1)))
+	if rep.ReplicaStreams > 0 {
+		fmt.Printf("escaped streams: %d (%.1f%%)\n", rep.EscapedStreams, 100*rep.EscapeFraction())
+		fmt.Println()
+		fmt.Print(rep.TTLDelta.RenderASCII("ttl delta"))
+	}
+
+	if showStreams {
+		fmt.Println()
+		for _, s := range res.Streams {
+			fmt.Printf("stream %4d: %s -> %s proto %d  %3d replicas  delta %d  span %v..%v  spacing %v\n",
+				s.ID, s.Summary.Src, s.Summary.Dst, s.Summary.Protocol,
+				s.Count(), s.TTLDelta(),
+				s.Start().Round(time.Millisecond), s.End().Round(time.Millisecond),
+				s.MeanSpacing().Round(10*time.Microsecond))
+		}
+	}
+	if showLoops {
+		fmt.Println()
+		for i, l := range res.Loops {
+			fmt.Printf("loop %3d: %-18s  %v .. %v  (%v)  %d streams, %d replicas\n",
+				i, l.Prefix, l.Start.Round(time.Millisecond), l.End.Round(time.Millisecond),
+				l.Duration().Round(time.Millisecond), len(l.Streams), l.Replicas())
+		}
+	}
+	return nil
+}
+
+func readAll(src trace.Source) ([]trace.Record, error) {
+	var recs []trace.Record
+	for {
+		r, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+	}
+}

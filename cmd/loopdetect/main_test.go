@@ -1,0 +1,160 @@
+package main
+
+import (
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"loopscope/internal/core"
+	"loopscope/internal/packet"
+	"loopscope/internal/routing"
+	"loopscope/internal/stats"
+	"loopscope/internal/trace"
+	"loopscope/internal/traffic"
+)
+
+// writeTestTrace synthesizes a small trace with one loop and writes it
+// in the requested shape.
+func writeTestTrace(t *testing.T, path string, gz bool, erf bool) int {
+	t.Helper()
+	dests := []routing.Prefix{
+		routing.MustParsePrefix("198.51.100.0/24"),
+		routing.MustParsePrefix("203.0.113.0/24"),
+	}
+	recs := traffic.Synthesize(traffic.SynthConfig{
+		Duration: 20 * time.Second, PacketsPerSecond: 800,
+		Mix: traffic.DefaultMix(), DestPrefixes: dests,
+		HopsMin: 3, HopsMax: 8,
+		Loops: []traffic.LoopSpec{{
+			Prefix: dests[1], Start: 5 * time.Second,
+			Duration: time.Second, TTLDelta: 2, Revolution: 3 * time.Millisecond,
+		}},
+	}, stats.NewRNG(4))
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out io.Writer = f
+	var gzw *gzip.Writer
+	if gz {
+		gzw = gzip.NewWriter(f)
+		out = gzw
+	}
+	meta := trace.Meta{Link: "test", SnapLen: 40, Start: time.Unix(0, 0)}
+	var w interface {
+		Write(trace.Record) error
+		Flush() error
+	}
+	if erf {
+		ew, err := trace.NewERFWriter(out, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w = ew
+	} else {
+		nw, err := trace.NewWriter(out, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w = nw
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if gzw != nil {
+		if err := gzw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return len(recs)
+}
+
+func TestOpenTraceVariants(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name   string
+		gz     bool
+		erf    bool
+		format string
+	}{
+		{"native", false, false, "auto"},
+		{"native-gz", true, false, "auto"},
+		{"erf", false, true, "erf"},
+		{"erf-gz", true, true, "erf"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(dir, c.name)
+			n := writeTestTrace(t, path, c.gz, c.erf)
+			traceFormat = c.format
+			defer func() { traceFormat = "auto" }()
+			src, f, err := openTrace(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			recs, err := readAll(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != n {
+				t.Fatalf("read %d of %d records", len(recs), n)
+			}
+			res := core.DetectRecords(recs, core.DefaultConfig())
+			if len(res.Loops) == 0 {
+				t.Error("loop not detected through this format path")
+			}
+		})
+	}
+}
+
+func TestRunModesDoNotError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.lspt")
+	writeTestTrace(t, path, false, false)
+	cfg := core.DefaultConfig()
+
+	// Redirect stdout so test output stays readable.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	if err := run(path, cfg, true, true); err != nil {
+		t.Errorf("run: %v", err)
+	}
+	if err := runJSON(path, cfg); err != nil {
+		t.Errorf("runJSON: %v", err)
+	}
+	if err := runStreaming(path, cfg); err != nil {
+		t.Errorf("runStreaming: %v", err)
+	}
+	if err := run(filepath.Join(dir, "missing"), cfg, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestOpenTraceRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(path, []byte("this is not a trace at all, sorry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openTrace(path); err == nil {
+		t.Error("garbage accepted")
+	}
+	_ = packet.Addr{}
+}

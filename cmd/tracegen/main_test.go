@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"loopscope/internal/core"
+	"loopscope/internal/trace"
+)
+
+func TestRunWritesDetectableTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.lspt")
+	if err := run(path, 20*time.Second, 3000, 5, 64, 7, false, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 20000 {
+		t.Fatalf("only %d records", len(recs))
+	}
+	if err := trace.Validate(recs); err != nil {
+		t.Fatal(err)
+	}
+	res := core.DetectRecords(recs, core.DefaultConfig())
+	if len(res.Loops) == 0 {
+		t.Error("scripted loops not detectable")
+	}
+}
+
+func TestRunPcapOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.pcap")
+	if err := run(path, 5*time.Second, 1000, 2, 32, 3, true, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewPcapReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3000 {
+		t.Fatalf("only %d records", len(recs))
+	}
+}
+
+func TestRunGzipOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.lspt.gz")
+	if err := run(path, 3*time.Second, 1000, 1, 16, 2, false, true); err != nil {
+		t.Fatal(err)
+	}
+	// The gzip magic must be present.
+	b := make([]byte, 2)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Read(b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0x1f || b[1] != 0x8b {
+		t.Errorf("not gzip: % x", b)
+	}
+}

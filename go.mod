@@ -1,0 +1,3 @@
+module loopscope
+
+go 1.22

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"loopscope/internal/packet"
+	"loopscope/internal/stats"
+)
+
+// CSV export: every figure's series as rows, for plotting with
+// external tools. One file per figure; columns are x plus one column
+// per trace.
+
+// WriteCDFCSV writes a multi-trace CDF as CSV: header "x,<link>...",
+// one row per x in xs.
+func WriteCDFCSV(w io.Writer, axis string, xs []float64, pick func(*Report) *stats.CDF, reports []*Report) error {
+	cw := csv.NewWriter(w)
+	header := []string{axis}
+	for _, r := range reports {
+		header = append(header, r.Link)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for _, r := range reports {
+			row = append(row, strconv.FormatFloat(pick(r).At(x), 'f', 4, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTTLDeltaCSV writes the Figure 2 distribution.
+func WriteTTLDeltaCSV(w io.Writer, reports []*Report) error {
+	cw := csv.NewWriter(w)
+	header := []string{"ttl_delta"}
+	maxDelta := 2
+	for _, r := range reports {
+		header = append(header, r.Link)
+		for _, k := range r.TTLDelta.Keys() {
+			if k > maxDelta {
+				maxDelta = k
+			}
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for d := 2; d <= maxDelta; d++ {
+		row := []string{strconv.Itoa(d)}
+		for _, r := range reports {
+			row = append(row, strconv.FormatFloat(r.TTLDelta.Fraction(d), 'f', 4, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteClassCSV writes a Figure 5/6 style per-class fraction table.
+func WriteClassCSV(w io.Writer, pick func(*Report) [NumClasses]float64, reports []*Report) error {
+	cw := csv.NewWriter(w)
+	header := []string{"class"}
+	for _, r := range reports {
+		header = append(header, r.Link)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for c := 0; c < NumClasses; c++ {
+		row := []string{packet.ClassNames[c]}
+		for _, r := range reports {
+			row = append(row, strconv.FormatFloat(pick(r)[c], 'f', 4, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDestSeriesCSV writes the Figure 7 scatter for one trace:
+// time_ns, destination.
+func WriteDestSeriesCSV(w io.Writer, r *Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_ns", "destination"}); err != nil {
+		return err
+	}
+	for _, p := range r.DestSeries {
+		if err := cw.Write([]string{
+			strconv.FormatInt(int64(p.Time), 10), p.Dst.String(),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FigureCSVs writes every figure's CSV through the open function,
+// which receives a file name ("fig2.csv", ...) and must return a
+// writer (closed by the caller of FigureCSVs via the returned closers
+// pattern, or an in-place writer for tests).
+func FigureCSVs(reports []*Report, open func(name string) (io.WriteCloser, error)) error {
+	type job struct {
+		name  string
+		write func(io.Writer) error
+	}
+	jobs := []job{
+		{"fig2_ttl_delta.csv", func(w io.Writer) error { return WriteTTLDeltaCSV(w, reports) }},
+		{"fig3_replicas_cdf.csv", func(w io.Writer) error {
+			return WriteCDFCSV(w, "replicas", []float64{2, 4, 8, 16, 31, 40, 63, 100, 127, 200},
+				func(r *Report) *stats.CDF { return r.ReplicasPerStream }, reports)
+		}},
+		{"fig4_spacing_cdf.csv", func(w io.Writer) error {
+			return WriteCDFCSV(w, "spacing_ms", []float64{0.5, 1, 2, 5, 8, 10, 22, 50, 100, 500},
+				func(r *Report) *stats.CDF { return r.SpacingMs }, reports)
+		}},
+		{"fig5_all_classes.csv", func(w io.Writer) error {
+			return WriteClassCSV(w, func(r *Report) [NumClasses]float64 { return r.AllClassFrac }, reports)
+		}},
+		{"fig6_looped_classes.csv", func(w io.Writer) error {
+			return WriteClassCSV(w, func(r *Report) [NumClasses]float64 { return r.LoopedClassFrac }, reports)
+		}},
+		{"fig8_stream_duration_cdf.csv", func(w io.Writer) error {
+			return WriteCDFCSV(w, "duration_ms", []float64{1, 10, 50, 100, 150, 200, 300, 400, 500, 700, 800, 1000, 5000},
+				func(r *Report) *stats.CDF { return r.StreamDurationMs }, reports)
+		}},
+		{"fig9_loop_duration_cdf.csv", func(w io.Writer) error {
+			return WriteCDFCSV(w, "duration_s", []float64{0.1, 0.5, 1, 2, 5, 10, 30, 60, 120, 300},
+				func(r *Report) *stats.CDF { return r.LoopDurationSec }, reports)
+		}},
+	}
+	if len(reports) > 3 {
+		jobs = append(jobs, job{"fig7_destinations.csv", func(w io.Writer) error {
+			return WriteDestSeriesCSV(w, reports[3])
+		}})
+	}
+	for _, j := range jobs {
+		wc, err := open(j.name)
+		if err != nil {
+			return fmt.Errorf("opening %s: %w", j.name, err)
+		}
+		if err := j.write(wc); err != nil {
+			wc.Close()
+			return fmt.Errorf("writing %s: %w", j.name, err)
+		}
+		if err := wc.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

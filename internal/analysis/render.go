@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"loopscope/internal/packet"
+	"loopscope/internal/stats"
+)
+
+// header prints a title row with one column per report.
+func header(b *strings.Builder, firstCol string, reports []*Report) {
+	fmt.Fprintf(b, "%-16s", firstCol)
+	for _, r := range reports {
+		fmt.Fprintf(b, "  %12s", r.Link)
+	}
+	b.WriteByte('\n')
+}
+
+// RenderTableI prints trace length, average bandwidth, total and
+// looped packet counts per trace (the paper's Table I).
+func RenderTableI(reports []*Report) string {
+	var b strings.Builder
+	b.WriteString("Table I: details of traces\n")
+	header(&b, "", reports)
+	fmt.Fprintf(&b, "%-16s", "length")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "  %12s", r.Duration.Round(time.Second))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-16s", "avg bw (Mbps)")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "  %12.1f", r.AvgBandwidthMbps)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-16s", "packets")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "  %12d", r.TotalPackets)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-16s", "looped packets")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "  %12d", r.LoopedPackets)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderTableII prints replica-stream and merged-loop counts per trace
+// (the paper's Table II).
+func RenderTableII(reports []*Report) string {
+	var b strings.Builder
+	b.WriteString("Table II: number of routing loops\n")
+	header(&b, "", reports)
+	fmt.Fprintf(&b, "%-16s", "replica streams")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "  %12d", r.ReplicaStreams)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-16s", "routing loops")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "  %12d", r.RoutingLoops)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderFigure2 prints the TTL-delta distribution of replica streams.
+func RenderFigure2(reports []*Report) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: TTL delta distribution (fraction of replica streams)\n")
+	header(&b, "ttl delta", reports)
+	maxDelta := 2
+	for _, r := range reports {
+		for _, k := range r.TTLDelta.Keys() {
+			if k > maxDelta {
+				maxDelta = k
+			}
+		}
+	}
+	if maxDelta > 16 {
+		maxDelta = 16
+	}
+	for d := 2; d <= maxDelta; d++ {
+		fmt.Fprintf(&b, "%-16d", d)
+		for _, r := range reports {
+			fmt.Fprintf(&b, "  %12.3f", r.TTLDelta.Fraction(d))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// renderCDF prints a multi-trace CDF table evaluated at xs.
+func renderCDF(title, axis string, xs []float64, pick func(*Report) *stats.CDF, reports []*Report) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	header(&b, axis, reports)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-16.6g", x)
+		for _, r := range reports {
+			fmt.Fprintf(&b, "  %12.3f", pick(r).At(x))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFigure3 prints the CDF of replicas per stream.
+func RenderFigure3(reports []*Report) string {
+	return renderCDF(
+		"Figure 3: CDF of the number of replicas in a replica stream",
+		"size [packets]",
+		[]float64{2, 4, 8, 16, 31, 40, 63, 100, 127, 200},
+		func(r *Report) *stats.CDF { return r.ReplicasPerStream },
+		reports)
+}
+
+// RenderFigure4 prints the CDF of mean inter-replica spacing.
+func RenderFigure4(reports []*Report) string {
+	return renderCDF(
+		"Figure 4: CDF of inter-replica spacing time",
+		"spacing [ms]",
+		[]float64{0.5, 1, 2, 5, 8, 10, 22, 50, 100, 500},
+		func(r *Report) *stats.CDF { return r.SpacingMs },
+		reports)
+}
+
+// classRows prints one row per traffic class from a per-report
+// fraction array.
+func classRows(title string, pick func(*Report) [NumClasses]float64, reports []*Report) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	header(&b, "class", reports)
+	for c := 0; c < NumClasses; c++ {
+		fmt.Fprintf(&b, "%-16s", packet.ClassNames[c])
+		for _, r := range reports {
+			fmt.Fprintf(&b, "  %12.4f", pick(r)[c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFigure5 prints the traffic-type distribution of all traffic.
+func RenderFigure5(reports []*Report) string {
+	return classRows("Figure 5: traffic type distribution of all traffic (fraction of packets)",
+		func(r *Report) [NumClasses]float64 { return r.AllClassFrac }, reports)
+}
+
+// RenderFigure6 prints the traffic-type distribution of looped
+// traffic.
+func RenderFigure6(reports []*Report) string {
+	return classRows("Figure 6: traffic type distribution of looped traffic (fraction of looped packets)",
+		func(r *Report) [NumClasses]float64 { return r.LoopedClassFrac }, reports)
+}
+
+// RenderFigure7 prints the destination-address time series of replica
+// streams for one trace (the paper plots Backbone 4). maxRows bounds
+// the output; 0 means all.
+func RenderFigure7(r *Report, maxRows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: destination addresses of replica streams in %s\n", r.Link)
+	fmt.Fprintf(&b, "%-14s  %-16s  %s\n", "time", "destination", "class-C?")
+	rows := r.DestSeries
+	if maxRows > 0 && len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	for _, p := range rows {
+		classC := ""
+		if p.Dst[0] >= 192 && p.Dst[0] < 224 {
+			classC = "C"
+		}
+		fmt.Fprintf(&b, "%-14s  %-16s  %s\n", p.Time.Round(time.Millisecond), p.Dst, classC)
+	}
+	if len(r.DestSeries) > len(rows) {
+		fmt.Fprintf(&b, "... (%d more)\n", len(r.DestSeries)-len(rows))
+	}
+	return b.String()
+}
+
+// ClassCFraction returns the fraction of a report's replica streams
+// whose destination lies in the historical class-C space
+// (192.0.0.0/3), the concentration the paper points out in Figure 7.
+func (r *Report) ClassCFraction() float64 {
+	if len(r.DestSeries) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range r.DestSeries {
+		if p.Dst[0] >= 192 && p.Dst[0] < 224 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.DestSeries))
+}
+
+// RenderFigure8 prints the CDF of replica-stream duration.
+func RenderFigure8(reports []*Report) string {
+	return renderCDF(
+		"Figure 8: CDF of replica stream duration",
+		"duration [ms]",
+		[]float64{1, 10, 50, 100, 150, 200, 300, 400, 500, 700, 800, 1000, 5000},
+		func(r *Report) *stats.CDF { return r.StreamDurationMs },
+		reports)
+}
+
+// RenderFigure9 prints the CDF of merged routing-loop duration.
+func RenderFigure9(reports []*Report) string {
+	return renderCDF(
+		"Figure 9: CDF of routing loop duration",
+		"duration [s]",
+		[]float64{0.1, 0.5, 1, 2, 5, 10, 30, 60, 120, 300},
+		func(r *Report) *stats.CDF { return r.LoopDurationSec },
+		reports)
+}
+
+// RenderLoss prints the §VI loss-impact summary.
+func RenderLoss(link string, lr *LossReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Loss impact (%s): overall loss %.4f%%, loop-attributable %.4f%%, worst minute loop share %.1f%%\n",
+		link, lr.OverallLossRate*100, lr.OverallLoopLossRate*100, lr.MaxLoopShare*100)
+	for i, s := range lr.PerMinuteLoopShare {
+		bar := strings.Repeat("#", int(s*40+0.5))
+		fmt.Fprintf(&b, "  minute %3d: %5.1f%% %s\n", i, s*100, bar)
+	}
+	return b.String()
+}
+
+// RenderDelay prints the §VI delay-impact summary.
+func RenderDelay(link string, dr *DelayReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Delay impact (%s): escaped %d looped packets (%.1f%%), clean mean delay %s\n",
+		link, dr.EscapedCount, dr.EscapeFraction*100, dr.CleanMeanDelay.Round(time.Microsecond))
+	if dr.ExtraDelayMs.N() > 0 {
+		fmt.Fprintf(&b, "  extra delay of escapees: p10=%.1fms p50=%.1fms p90=%.1fms max=%.1fms\n",
+			dr.ExtraDelayMs.Quantile(0.10), dr.ExtraDelayMs.Quantile(0.50),
+			dr.ExtraDelayMs.Quantile(0.90), dr.ExtraDelayMs.Max())
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+// Package baseline implements the comparison point the paper argues
+// against (§III): active, end-to-end loop detection in the style of
+// Paxson's traceroute study. A prober at a vantage router walks the
+// TTL space towards chosen destinations, reconstructs forwarding paths
+// from the ICMP time-exceeded responses, and flags a loop when the
+// same router answers at two different TTLs of one traceroute.
+//
+// Run against the same simulated network as the passive detector, it
+// demonstrates the paper's point quantitatively: a traceroute only
+// sees a transient loop if one of its probes happens to be in flight
+// through the looping region during the (often sub-second) window, so
+// it misses most of them, and it cannot say anything about how much
+// traffic was affected.
+package baseline
+
+import (
+	"time"
+
+	"loopscope/internal/netsim"
+	"loopscope/internal/packet"
+	"loopscope/internal/routing"
+)
+
+// Config tunes the prober.
+type Config struct {
+	// Interval is the pause between consecutive traceroutes of the
+	// same destination.
+	Interval time.Duration
+	// ProbeTimeout is how long to wait for a hop's reply.
+	ProbeTimeout time.Duration
+	// MaxTTL bounds the TTL walk.
+	MaxTTL int
+}
+
+// DefaultConfig paces like a measurement-infrastructure traceroute:
+// one pass per destination per 30 s.
+func DefaultConfig() Config {
+	return Config{
+		Interval:     30 * time.Second,
+		ProbeTimeout: 2 * time.Second,
+		MaxTTL:       24,
+	}
+}
+
+// Traceroute is one completed TTL walk.
+type Traceroute struct {
+	Dst  packet.Addr
+	At   time.Duration
+	Hops []packet.Addr // zero Addr = no response at that TTL
+	// LoopDetected reports whether some router appeared at two
+	// different hops.
+	LoopDetected bool
+	// LoopAddr is the repeated router when LoopDetected.
+	LoopAddr packet.Addr
+}
+
+// Prober drives periodic traceroutes from a vantage router.
+type Prober struct {
+	net     *netsim.Network
+	cfg     Config
+	vantage *netsim.Router
+	srcAddr packet.Addr
+	dsts    []packet.Addr
+
+	// Results collects completed traceroutes.
+	Results []Traceroute
+	// ProbesSent counts individual probe packets.
+	ProbesSent int
+
+	current *walk
+	queue   []packet.Addr
+	nextRun time.Duration
+}
+
+// walk is the in-progress traceroute state.
+type walk struct {
+	dst      packet.Addr
+	ttl      int
+	hops     []packet.Addr
+	deadline time.Duration
+	answered bool
+	started  time.Duration
+}
+
+// NewProber creates a prober at vantage. srcAddr must be an address
+// delivered at the vantage router (attach a host prefix there) so the
+// ICMP errors come back to the prober. The prober cycles through dsts
+// round-robin, one traceroute at a time, every cfg.Interval.
+func NewProber(n *netsim.Network, vantage *netsim.Router, srcAddr packet.Addr, dsts []packet.Addr, cfg Config) *Prober {
+	if cfg.MaxTTL <= 0 {
+		cfg.MaxTTL = 24
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	p := &Prober{net: n, cfg: cfg, vantage: vantage, srcAddr: srcAddr, dsts: dsts}
+	vantage.AttachPrefix(routing.NewPrefix(srcAddr, 32))
+	prev := n.OnDeliver
+	n.OnDeliver = func(r *netsim.Router, tp *netsim.TransitPacket) {
+		if prev != nil {
+			prev(r, tp)
+		}
+		p.onDeliver(r, tp)
+	}
+	return p
+}
+
+// Start schedules the probing loop for the given window.
+func (p *Prober) Start(until time.Duration) {
+	var tick func()
+	tick = func() {
+		now := p.net.Sim.Now()
+		if now >= until {
+			return
+		}
+		if p.current == nil && now >= p.nextRun {
+			p.startWalk()
+		}
+		p.net.Sim.Schedule(100*time.Millisecond, tick)
+	}
+	p.net.Sim.Schedule(0, tick)
+}
+
+func (p *Prober) startWalk() {
+	if len(p.queue) == 0 {
+		p.queue = append(p.queue, p.dsts...)
+	}
+	dst := p.queue[0]
+	p.queue = p.queue[1:]
+	p.current = &walk{dst: dst, ttl: 0, started: p.net.Sim.Now()}
+	p.sendNextProbe()
+}
+
+func (p *Prober) sendNextProbe() {
+	w := p.current
+	w.ttl++
+	if w.ttl > p.cfg.MaxTTL {
+		p.finishWalk()
+		return
+	}
+	p.ProbesSent++
+	w.answered = false
+	w.deadline = p.net.Sim.Now() + p.cfg.ProbeTimeout
+	p.net.Inject(p.vantage, packet.Packet{
+		IP: packet.IPv4Header{
+			Version: 4, IHL: 5,
+			TTL:      uint8(w.ttl),
+			Protocol: packet.ProtoUDP,
+			Src:      p.srcAddr, Dst: w.dst,
+			ID: uint16(p.ProbesSent),
+		},
+		Kind: packet.KindUDP,
+		UDP: packet.UDPHeader{
+			SrcPort: 33000,
+			DstPort: uint16(33434 + w.ttl), // classic traceroute port walk
+		},
+		HasTransport: true,
+		PayloadLen:   12,
+		PayloadSeed:  uint64(p.ProbesSent),
+	})
+	ttl := w.ttl
+	p.net.Sim.At(w.deadline, func() {
+		if p.current == w && w.ttl == ttl && !w.answered {
+			// Hop timed out: record a hole and continue.
+			w.hops = append(w.hops, packet.Addr{})
+			p.sendNextProbe()
+		}
+	})
+}
+
+// onDeliver receives packets delivered at the vantage router and
+// matches ICMP time-exceeded errors to the outstanding probe.
+func (p *Prober) onDeliver(r *netsim.Router, tp *netsim.TransitPacket) {
+	w := p.current
+	if w == nil || w.answered || r != p.vantage {
+		return
+	}
+	pk := &tp.Pkt
+	if pk.Kind != packet.KindICMP || !pk.HasTransport {
+		return
+	}
+	if pk.IP.Dst != p.srcAddr || pk.ICMP.Type != packet.ICMPTimeExceeded {
+		return
+	}
+	w.answered = true
+	w.hops = append(w.hops, pk.IP.Src)
+	p.sendNextProbe()
+}
+
+// finishWalk closes the current traceroute, detecting repeats.
+func (p *Prober) finishWalk() {
+	w := p.current
+	p.current = nil
+	p.nextRun = p.net.Sim.Now() + p.cfg.Interval
+	tr := Traceroute{Dst: w.dst, At: w.started, Hops: w.hops}
+	seen := make(map[packet.Addr]bool)
+	for _, h := range w.hops {
+		if h == (packet.Addr{}) {
+			continue
+		}
+		if seen[h] {
+			tr.LoopDetected = true
+			tr.LoopAddr = h
+			break
+		}
+		seen[h] = true
+	}
+	p.Results = append(p.Results, tr)
+}
+
+// LoopsDetected counts traceroutes that saw a loop.
+func (p *Prober) LoopsDetected() int {
+	n := 0
+	for _, t := range p.Results {
+		if t.LoopDetected {
+			n++
+		}
+	}
+	return n
+}

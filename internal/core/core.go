@@ -1,0 +1,220 @@
+// Package core implements the paper's contribution: detection of
+// routing loops from single-link packet traces (Hengartner, Moon,
+// Mortier, Diot — IMC 2002, §IV).
+//
+// A packet caught in a forwarding loop that includes the monitored
+// link crosses that link once per revolution, each time with its TTL
+// lower by the number of routers in the loop. In the trace this shows
+// up as a replica stream: a run of records whose captured bytes are
+// identical except for the TTL and IP header checksum, with strictly
+// decreasing TTL. The algorithm has three steps:
+//
+//  1. Detect replicas and assemble them into streams.
+//  2. Validate streams: discard two-element sets (link-layer
+//     duplicates) and require that, while a stream is active, every
+//     packet towards the same /24 is itself part of a replica stream
+//     — a real loop captures all traffic to the prefix.
+//  3. Merge streams caused by the same routing loop: same /24 and
+//     overlapping in time, or separated by less than the merge window
+//     with no non-looped packet to the subnet in between.
+package core
+
+import (
+	"time"
+
+	"loopscope/internal/packet"
+	"loopscope/internal/routing"
+)
+
+// Config tunes the detector. The zero value is not valid; use
+// DefaultConfig and adjust.
+type Config struct {
+	// MinReplicas is the smallest stream size reported as loop
+	// evidence. The paper discards two-element sets as link-layer
+	// duplicates, so the default is 3.
+	MinReplicas int
+	// MinTTLDelta is the smallest acceptable TTL decrement between
+	// successive replicas. A loop involves at least two routers, so
+	// the default is 2.
+	MinTTLDelta int
+	// MemberReplicas is the smallest stream size whose packets count
+	// as "looped" for the step-2 validation of other streams. Two-
+	// element sets are not loop evidence themselves but their packets
+	// must not invalidate a concurrent genuine stream; default 2.
+	MemberReplicas int
+	// PrefixBits is the aggregation width for validation and merging;
+	// /24 is the longest prefix tier-1 ISPs honoured at the time.
+	PrefixBits int
+	// MaxReplicaGap bounds the spacing between successive replicas of
+	// one stream; a stream with no new replica for this long is
+	// closed.
+	MaxReplicaGap time.Duration
+	// MergeWindow is the step-3 gap within which two same-prefix
+	// streams are attributed to one routing loop (the paper uses one
+	// minute and reports 2 and 5 to be equivalent).
+	MergeWindow time.Duration
+	// ValidateSubnet enables the step-2 subnet condition. Disabling
+	// it is used by the ablation benchmarks.
+	ValidateSubnet bool
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		MinReplicas:    3,
+		MinTTLDelta:    2,
+		MemberReplicas: 2,
+		PrefixBits:     24,
+		MaxReplicaGap:  2 * time.Second,
+		MergeWindow:    time.Minute,
+		ValidateSubnet: true,
+	}
+}
+
+// Replica is one observation of a looping packet crossing the link.
+type Replica struct {
+	// Time is the capture timestamp.
+	Time time.Duration
+	// TTL is the observed TTL.
+	TTL uint8
+	// Index is the record's position in the trace.
+	Index int
+}
+
+// ReplicaStream is the set of replicas of one original packet.
+type ReplicaStream struct {
+	// ID numbers validated streams in order of first replica.
+	ID int
+	// Prefix is the destination /PrefixBits subnet.
+	Prefix routing.Prefix
+	// Replicas holds the observations in capture order.
+	Replicas []Replica
+	// Summary is the parsed view of the first replica.
+	Summary PacketSummary
+}
+
+// PacketSummary carries the header fields the analysis cares about,
+// extracted from the first replica.
+type PacketSummary struct {
+	Src, Dst packet.Addr
+	// ID is the IP identification field — with Src it identifies the
+	// original packet, which is what lets two vantage points match
+	// observations of the same stream.
+	ID        uint16
+	Protocol  uint8
+	SrcPort   uint16
+	DstPort   uint16
+	TCPFlags  uint8
+	ICMPType  uint8
+	WireLen   int
+	ClassMask uint16
+}
+
+// Count returns the number of replicas.
+func (s *ReplicaStream) Count() int { return len(s.Replicas) }
+
+// Start returns the time of the first replica.
+func (s *ReplicaStream) Start() time.Duration { return s.Replicas[0].Time }
+
+// End returns the time of the last replica.
+func (s *ReplicaStream) End() time.Duration {
+	return s.Replicas[len(s.Replicas)-1].Time
+}
+
+// Duration returns End - Start.
+func (s *ReplicaStream) Duration() time.Duration { return s.End() - s.Start() }
+
+// TTLDelta returns the dominant (most common) TTL decrement between
+// successive replicas.
+func (s *ReplicaStream) TTLDelta() int {
+	counts := make(map[int]int)
+	for i := 1; i < len(s.Replicas); i++ {
+		d := int(s.Replicas[i-1].TTL) - int(s.Replicas[i].TTL)
+		counts[d]++
+	}
+	best, bestN := 0, 0
+	for d, n := range counts {
+		if n > bestN || (n == bestN && d < best) {
+			best, bestN = d, n
+		}
+	}
+	return best
+}
+
+// MeanSpacing returns the average inter-replica spacing, the paper's
+// per-stream spacing statistic (Figure 4). Streams of one replica
+// return 0.
+func (s *ReplicaStream) MeanSpacing() time.Duration {
+	if len(s.Replicas) < 2 {
+		return 0
+	}
+	return s.Duration() / time.Duration(len(s.Replicas)-1)
+}
+
+// LastTTL returns the TTL of the final replica.
+func (s *ReplicaStream) LastTTL() uint8 {
+	return s.Replicas[len(s.Replicas)-1].TTL
+}
+
+// Escaped estimates whether the packet left the loop alive: the last
+// observed TTL is still larger than one revolution, so the packet
+// cannot have expired inside the loop right after this link. (With
+// router update logs one could do better; from a single link this is
+// the paper's available signal.)
+func (s *ReplicaStream) Escaped() bool {
+	return int(s.LastTTL()) > s.TTLDelta() && s.TTLDelta() > 0
+}
+
+// LoopDelay estimates the extra delay the loop imposed on this packet
+// while it was observable from the link: the span between first and
+// last replica.
+func (s *ReplicaStream) LoopDelay() time.Duration { return s.Duration() }
+
+// Loop is a detected routing loop: one or more merged replica streams
+// towards the same subnet.
+type Loop struct {
+	Prefix     routing.Prefix
+	Streams    []*ReplicaStream
+	Start, End time.Duration
+}
+
+// Duration returns the loop's observable lifetime.
+func (l *Loop) Duration() time.Duration { return l.End - l.Start }
+
+// Replicas returns the total number of replica observations across
+// the loop's streams.
+func (l *Loop) Replicas() int {
+	n := 0
+	for _, s := range l.Streams {
+		n += len(s.Replicas)
+	}
+	return n
+}
+
+// Result is the detector's output for one trace.
+type Result struct {
+	// Streams are the validated replica streams, ordered by first
+	// replica.
+	Streams []*ReplicaStream
+	// Loops are the merged routing loops, ordered by start.
+	Loops []*Loop
+
+	// TotalPackets is the number of trace records processed.
+	TotalPackets int
+	// LoopedPackets is the number of records that belong to a
+	// validated stream (the paper's "looped packets" in Table I).
+	LoopedPackets int
+	// ParseErrors counts undecodable records.
+	ParseErrors int
+	// PairsDiscarded counts two-element replica sets discarded as
+	// link-layer duplicates (step 2, first condition).
+	PairsDiscarded int
+	// SubnetInvalidated counts streams discarded because a
+	// same-subnet packet was not looping during the stream (step 2,
+	// second condition).
+	SubnetInvalidated int
+	// Membership maps record index -> validated stream ID, or -1 for
+	// records outside every validated stream. Its length is
+	// TotalPackets.
+	Membership []int32
+}

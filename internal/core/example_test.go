@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"loopscope/internal/core"
+	"loopscope/internal/packet"
+	"loopscope/internal/trace"
+)
+
+// Example demonstrates the three-step algorithm on a hand-written
+// trace: one packet crosses the monitored link six times with its TTL
+// dropping by 2 — a two-router loop.
+func Example() {
+	// The looping packet: same header bytes every time, TTL 60, 58,
+	// 56, ... (the capture card sees it once per revolution).
+	base := packet.Packet{
+		IP: packet.IPv4Header{
+			Version: 4, IHL: 5, Protocol: packet.ProtoUDP,
+			Src: packet.MustParseAddr("192.0.2.7"),
+			Dst: packet.MustParseAddr("203.0.113.99"),
+			ID:  4711,
+		},
+		Kind:         packet.KindUDP,
+		UDP:          packet.UDPHeader{SrcPort: 53, DstPort: 53},
+		HasTransport: true,
+		PayloadLen:   64,
+		PayloadSeed:  12345,
+	}
+	var recs []trace.Record
+	for i := 0; i < 6; i++ {
+		p := base
+		p.IP.TTL = uint8(60 - 2*i)
+		buf := make([]byte, trace.DefaultSnapLen)
+		n, _ := p.Serialize(buf, trace.DefaultSnapLen)
+		recs = append(recs, trace.Record{
+			Time:    time.Second + time.Duration(i)*4*time.Millisecond,
+			WireLen: p.WireLen(),
+			Data:    buf[:n],
+		})
+	}
+
+	res := core.DetectRecords(recs, core.DefaultConfig())
+	for _, l := range res.Loops {
+		s := l.Streams[0]
+		fmt.Printf("loop on %v: %d replicas, TTL delta %d, spacing %v\n",
+			l.Prefix, s.Count(), s.TTLDelta(), s.MeanSpacing())
+	}
+	// Output:
+	// loop on 203.0.113.0/24: 6 replicas, TTL delta 2, spacing 4ms
+}

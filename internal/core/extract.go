@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"loopscope/internal/trace"
+)
+
+// ExtractLoopRecords returns the trace records that constitute a
+// detected loop's evidence: every replica of every stream, plus —
+// when context is positive — all records towards the loop's prefix
+// within context of the loop window. The result is a small, self-
+// contained trace an operator can hand to the neighboring network's
+// NOC (the paper notes persistent loops "require cooperation of many
+// network operation groups to be analyzed"; this is the artifact that
+// cooperation runs on).
+//
+// recs must be the records the detector consumed, in the same order.
+func ExtractLoopRecords(recs []trace.Record, l *Loop, context time.Duration) []trace.Record {
+	take := make(map[int]bool)
+	for _, s := range l.Streams {
+		for _, r := range s.Replicas {
+			take[r.Index] = true
+		}
+	}
+	out := make([]trace.Record, 0, len(take))
+	for idx := range take {
+		if idx >= 0 && idx < len(recs) {
+			out = append(out, recs[idx])
+		}
+	}
+	if context > 0 {
+		lo, hi := l.Start-context, l.End+context
+		// Records are time-ordered; find the window once.
+		i := sort.Search(len(recs), func(i int) bool { return recs[i].Time >= lo })
+		for ; i < len(recs) && recs[i].Time <= hi; i++ {
+			if take[i] {
+				continue
+			}
+			if pkt, err := decodeDst(recs[i].Data); err == nil && l.Prefix.Contains(pkt) {
+				out = append(out, recs[i])
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}

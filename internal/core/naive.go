@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"time"
+
+	"loopscope/internal/packet"
+	"loopscope/internal/routing"
+	"loopscope/internal/trace"
+)
+
+// NaiveDetector is a reference implementation of the replica-stream
+// scan (step 1) that keeps open streams in a flat slice and compares
+// every arriving record against each of them, instead of hashing the
+// masked header. It exists for two reasons:
+//
+//   - differential testing: its results must equal Detector's exactly
+//     on every input;
+//   - the data-structure ablation benchmark, quantifying what the
+//     hash index buys on real trace volumes.
+//
+// Validation and merging (steps 2 and 3) are identical, shared code.
+type NaiveDetector struct {
+	inner     *Detector
+	open      []*builder
+	lastSweep time.Duration
+}
+
+// NewNaiveDetector returns a naive-scan detector with the given
+// configuration.
+func NewNaiveDetector(cfg Config) *NaiveDetector {
+	return &NaiveDetector{inner: NewDetector(cfg)}
+}
+
+// Observe processes the next trace record (records must be in
+// non-decreasing time order).
+func (n *NaiveDetector) Observe(rec trace.Record) {
+	d := n.inner
+	idx := d.n
+	d.n++
+	d.memberOf = append(d.memberOf, -1)
+	d.times = append(d.times, rec.Time)
+
+	pkt, err := packet.Decode(rec.Data)
+	if err != nil {
+		d.parseErrors++
+		return
+	}
+	pfx := routing.PrefixOf(pkt.IP.Dst, d.cfg.PrefixBits)
+	d.byPrefix[pfx] = append(d.byPrefix[pfx], int32(idx))
+
+	masked := maskReplica(rec.Data)
+	rep := Replica{Time: rec.Time, TTL: pkt.IP.TTL, Index: idx}
+
+	var match *builder
+	for _, b := range n.open {
+		if bytes.Equal(b.masked, masked) {
+			match = b
+			break
+		}
+	}
+	fresh := func() *builder {
+		return &builder{
+			masked: masked, prefix: pfx, summary: summarize(&pkt),
+			replicas: []Replica{rep}, serial: -1,
+			lastTTL: rep.TTL, lastTime: rep.Time,
+		}
+	}
+	switch delta := 0; {
+	case match == nil:
+		n.open = append(n.open, fresh())
+	case rec.Time-match.lastTime > d.cfg.MaxReplicaGap:
+		d.flush(match)
+		n.remove(match)
+		n.open = append(n.open, fresh())
+	default:
+		delta = int(match.lastTTL) - int(pkt.IP.TTL)
+		switch {
+		case delta >= d.cfg.MinTTLDelta:
+			match.replicas = append(match.replicas, rep)
+			match.observe(pkt.IP.TTL, rec.Time)
+		case delta >= 0:
+			match.extras = append(match.extras, idx)
+			match.observe(pkt.IP.TTL, rec.Time)
+		default:
+			d.flush(match)
+			n.remove(match)
+			n.open = append(n.open, fresh())
+		}
+	}
+
+	if rec.Time-n.lastSweep > d.cfg.MaxReplicaGap {
+		kept := n.open[:0]
+		for _, b := range n.open {
+			if rec.Time-b.lastTime > d.cfg.MaxReplicaGap {
+				d.flush(b)
+			} else {
+				kept = append(kept, b)
+			}
+		}
+		n.open = kept
+		n.lastSweep = rec.Time
+	}
+}
+
+func (n *NaiveDetector) remove(b *builder) {
+	for i, x := range n.open {
+		if x == b {
+			n.open[i] = n.open[len(n.open)-1]
+			n.open = n.open[:len(n.open)-1]
+			return
+		}
+	}
+}
+
+// Finish closes open streams and runs the shared validation and
+// merging.
+func (n *NaiveDetector) Finish() *Result {
+	for _, b := range n.open {
+		n.inner.flush(b)
+	}
+	n.open = nil
+	return n.inner.Finish()
+}
+
+// NaiveDetectRecords runs the naive pipeline over an in-memory trace.
+func NaiveDetectRecords(recs []trace.Record, cfg Config) *Result {
+	d := NewNaiveDetector(cfg)
+	for _, r := range recs {
+		d.Observe(r)
+	}
+	return d.Finish()
+}

@@ -1,0 +1,46 @@
+package core
+
+import "time"
+
+// The paper distinguishes transient loops (routing-protocol
+// convergence; resolve on their own) from persistent loops
+// (misconfiguration; need operator intervention) and analyses only the
+// former, noting persistent loops are rare and require cross-AS
+// cooperation to chase. From a single link's trace the observable
+// difference is lifetime: a persistent loop's replica streams keep
+// arriving for as long as the capture runs.
+
+// PersistenceSplit partitions detected loops by observable lifetime.
+type PersistenceSplit struct {
+	// Transient loops end well inside the trace.
+	Transient []*Loop
+	// Persistent loops span (almost) the whole observation window —
+	// the capture never saw them heal, so intervention was (or would
+	// have been) required.
+	Persistent []*Loop
+}
+
+// SplitPersistence classifies the result's loops. A loop is persistent
+// when the capture never saw it heal: its last replica falls within
+// slack of the end of the trace AND it had already been active for at
+// least minActive. The observable start of a persistent loop is the
+// first captured packet towards its prefix, which for an unpopular
+// prefix can be well into the trace — which is why a
+// fraction-of-trace-lifetime criterion misclassifies and is not used.
+//
+// traceEnd is the timestamp of the last record; one merge window is a
+// natural slack, and a minute is a conservative minActive (transient
+// convergence loops finish in seconds).
+func (r *Result) SplitPersistence(traceEnd, slack, minActive time.Duration) PersistenceSplit {
+	var out PersistenceSplit
+	for _, l := range r.Loops {
+		stillActive := traceEnd-l.End <= slack
+		longLived := l.Duration() >= minActive
+		if stillActive && longLived {
+			out.Persistent = append(out.Persistent, l)
+		} else {
+			out.Transient = append(out.Transient, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"loopscope/internal/routing"
+	"loopscope/internal/stats"
+	"loopscope/internal/trace"
+	"loopscope/internal/traffic"
+)
+
+// randomTrace synthesizes a trace with a random background workload
+// and a random set of scripted loops, returning the trace.
+func randomTrace(seed uint64, dur time.Duration, pps float64, nLoops int) []trace.Record {
+	rng := stats.NewRNG(seed)
+	dests := []routing.Prefix{
+		routing.MustParsePrefix("198.51.100.0/24"),
+		routing.MustParsePrefix("198.51.101.0/24"),
+		routing.MustParsePrefix("203.0.113.0/24"),
+		routing.MustParsePrefix("192.168.7.0/24"),
+		routing.MustParsePrefix("192.0.2.0/24"),
+	}
+	cfg := traffic.SynthConfig{
+		Duration:         dur,
+		PacketsPerSecond: pps,
+		Mix:              traffic.DefaultMix(),
+		DestPrefixes:     dests,
+		HopsMin:          3, HopsMax: 9,
+	}
+	for i := 0; i < nLoops; i++ {
+		cfg.Loops = append(cfg.Loops, traffic.LoopSpec{
+			Prefix:     dests[rng.Intn(len(dests))],
+			Start:      time.Duration(rng.Int63n(int64(dur * 3 / 4))),
+			Duration:   time.Duration(100+rng.Intn(3000)) * time.Millisecond,
+			TTLDelta:   2 + rng.Intn(5),
+			Revolution: time.Duration(1+rng.Intn(8)) * time.Millisecond,
+		})
+	}
+	return traffic.Synthesize(cfg, rng)
+}
+
+// TestStreamInvariantsQuick: every validated stream must satisfy the
+// paper's replica definition — strictly decreasing TTLs with deltas of
+// at least MinTTLDelta, time-ordered replicas, at least MinReplicas of
+// them, all towards one /24.
+func TestStreamInvariantsQuick(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed uint64) bool {
+		recs := randomTrace(seed, 10*time.Second, 800, 3)
+		res := DetectRecords(recs, cfg)
+		for _, s := range res.Streams {
+			if s.Count() < cfg.MinReplicas {
+				return false
+			}
+			for i := 1; i < len(s.Replicas); i++ {
+				prev, cur := s.Replicas[i-1], s.Replicas[i]
+				if cur.Time < prev.Time {
+					return false
+				}
+				if int(prev.TTL)-int(cur.TTL) < cfg.MinTTLDelta {
+					return false
+				}
+				if cur.Time-prev.Time > cfg.MaxReplicaGap {
+					return false
+				}
+			}
+			if s.Prefix.Bits != cfg.PrefixBits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMembershipConsistencyQuick: the membership index and the stream
+// list must agree exactly.
+func TestMembershipConsistencyQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		recs := randomTrace(seed, 8*time.Second, 600, 2)
+		res := DetectRecords(recs, DefaultConfig())
+		if len(res.Membership) != len(recs) {
+			return false
+		}
+		fromStreams := make(map[int]int32)
+		for _, s := range res.Streams {
+			for _, r := range s.Replicas {
+				fromStreams[r.Index] = int32(s.ID)
+			}
+		}
+		for i, m := range res.Membership {
+			want, ok := fromStreams[i]
+			if ok != (m >= 0) {
+				return false
+			}
+			if ok && want != m {
+				return false
+			}
+		}
+		return len(fromStreams) == res.LoopedPackets
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLoopInvariantsQuick: merged loops must cover their streams, stay
+// within one prefix, and same-prefix loops must be separated by at
+// least the merge window OR a non-looped packet.
+func TestLoopInvariantsQuick(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed uint64) bool {
+		recs := randomTrace(seed, 12*time.Second, 700, 4)
+		res := DetectRecords(recs, cfg)
+		seen := make(map[int]bool)
+		for _, l := range res.Loops {
+			if len(l.Streams) == 0 {
+				return false
+			}
+			for _, s := range l.Streams {
+				if s.Prefix != l.Prefix {
+					return false
+				}
+				if s.Start() < l.Start || s.End() > l.End {
+					return false
+				}
+				if seen[s.ID] {
+					return false // stream in two loops
+				}
+				seen[s.ID] = true
+			}
+		}
+		// Every validated stream belongs to exactly one loop.
+		return len(seen) == len(res.Streams)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDifferentialNaiveQuick: the hash-indexed detector and the naive
+// quadratic reference must produce identical results on random
+// traces.
+func TestDifferentialNaiveQuick(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed uint64) bool {
+		recs := randomTrace(seed, 6*time.Second, 500, 3)
+		a := DetectRecords(recs, cfg)
+		b := NaiveDetectRecords(recs, cfg)
+		if len(a.Streams) != len(b.Streams) || len(a.Loops) != len(b.Loops) ||
+			a.LoopedPackets != b.LoopedPackets ||
+			a.PairsDiscarded != b.PairsDiscarded ||
+			a.SubnetInvalidated != b.SubnetInvalidated {
+			return false
+		}
+		for i := range a.Streams {
+			sa, sb := a.Streams[i], b.Streams[i]
+			if sa.Prefix != sb.Prefix || sa.Count() != sb.Count() ||
+				sa.Start() != sb.Start() || sa.End() != sb.End() {
+				return false
+			}
+		}
+		for i := range a.Loops {
+			la, lb := a.Loops[i], b.Loops[i]
+			if la.Prefix != lb.Prefix || la.Start != lb.Start || la.End != lb.End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetectorDeterminism: two runs over the same trace must agree
+// exactly (the sweep iterates a map, so this guards against order
+// dependence).
+func TestDetectorDeterminism(t *testing.T) {
+	recs := randomTrace(1234, 15*time.Second, 1000, 5)
+	a := DetectRecords(recs, DefaultConfig())
+	b := DetectRecords(recs, DefaultConfig())
+	if len(a.Streams) != len(b.Streams) || len(a.Loops) != len(b.Loops) {
+		t.Fatalf("nondeterministic: %d/%d streams, %d/%d loops",
+			len(a.Streams), len(b.Streams), len(a.Loops), len(b.Loops))
+	}
+	for i := range a.Streams {
+		if a.Streams[i].Start() != b.Streams[i].Start() ||
+			a.Streams[i].Count() != b.Streams[i].Count() {
+			t.Fatalf("stream %d differs between runs", i)
+		}
+	}
+}
+
+// TestScriptedLoopsAreFound: with clearly separated scripted loops,
+// the detector must find a loop for every script entry that had
+// traffic.
+func TestScriptedLoopsAreFound(t *testing.T) {
+	dests := []routing.Prefix{
+		routing.MustParsePrefix("198.51.100.0/24"),
+		routing.MustParsePrefix("203.0.113.0/24"),
+	}
+	cfg := traffic.SynthConfig{
+		Duration:         60 * time.Second,
+		PacketsPerSecond: 1500,
+		Mix:              traffic.DefaultMix(),
+		DestPrefixes:     dests,
+		HopsMin:          3, HopsMax: 8,
+		Loops: []traffic.LoopSpec{
+			{Prefix: dests[0], Start: 5 * time.Second, Duration: time.Second, TTLDelta: 2, Revolution: 3 * time.Millisecond},
+			{Prefix: dests[0], Start: 40 * time.Second, Duration: time.Second, TTLDelta: 2, Revolution: 3 * time.Millisecond},
+			{Prefix: dests[1], Start: 20 * time.Second, Duration: 2 * time.Second, TTLDelta: 4, Revolution: 6 * time.Millisecond},
+		},
+	}
+	recs := traffic.Synthesize(cfg, stats.NewRNG(55))
+	res := DetectRecords(recs, DefaultConfig())
+	if len(res.Loops) != 3 {
+		for _, l := range res.Loops {
+			t.Logf("loop: %v %v..%v", l.Prefix, l.Start, l.End)
+		}
+		t.Fatalf("loops = %d, want 3", len(res.Loops))
+	}
+	// The delta-4 loop's streams must carry delta 4.
+	for _, l := range res.Loops {
+		if l.Prefix == dests[1] {
+			for _, s := range l.Streams {
+				if s.TTLDelta() != 4 {
+					t.Errorf("stream delta = %d, want 4", s.TTLDelta())
+				}
+			}
+		}
+	}
+}
+
+// TestDetectSourceMatchesDetectRecords exercises the Source-based
+// entry point.
+func TestDetectSourceMatchesDetectRecords(t *testing.T) {
+	recs := randomTrace(77, 5*time.Second, 400, 2)
+	a := DetectRecords(recs, DefaultConfig())
+	src := trace.NewSliceSource(trace.Meta{Link: "mem"}, recs)
+	b, err := DetectSource(src, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Streams) != len(b.Streams) || len(a.Loops) != len(b.Loops) {
+		t.Errorf("source path differs: %d/%d streams", len(a.Streams), len(b.Streams))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MinReplicas: 1, MemberReplicas: 2, MinTTLDelta: 2, PrefixBits: 24},
+		{MinReplicas: 3, MemberReplicas: 1, MinTTLDelta: 2, PrefixBits: 24},
+		{MinReplicas: 3, MemberReplicas: 4, MinTTLDelta: 2, PrefixBits: 24},
+		{MinReplicas: 3, MemberReplicas: 2, MinTTLDelta: 0, PrefixBits: 24},
+		{MinReplicas: 3, MemberReplicas: 2, MinTTLDelta: 2, PrefixBits: 33},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d accepted: %+v", i, cfg)
+				}
+			}()
+			NewDetector(cfg)
+		}()
+	}
+}
+
+// TestObserveAllocationBudget locks in the hot-path allocation count:
+// a non-matching record costs the masked copy, the builder and
+// bookkeeping appends — if this regresses the multi-hour-trace use
+// case quietly gets slower.
+func TestObserveAllocationBudget(t *testing.T) {
+	recs := randomTrace(99, 30*time.Second, 2000, 0)
+	if len(recs) < 10000 {
+		t.Fatal("trace too small")
+	}
+	d := NewDetector(DefaultConfig())
+	i := 0
+	avg := testing.AllocsPerRun(len(recs)-1, func() {
+		d.Observe(recs[i])
+		i++
+	})
+	// Currently ~6 allocs/record (masked copy, builder, replicas
+	// slice, map/bucket growth amortised, index appends). Alarm well
+	// above that.
+	if avg > 12 {
+		t.Errorf("Observe allocates %.1f objects/record; hot path regressed", avg)
+	}
+	t.Logf("Observe: %.2f allocs/record", avg)
+}

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"time"
+
+	"loopscope/internal/packet"
+	"loopscope/internal/routing"
+	"loopscope/internal/trace"
+)
+
+// StreamDetector is the bounded-memory variant of the detector: it
+// emits each routing loop as soon as the loop can no longer change —
+// no packet still in flight could validate into it or merge with it —
+// and evicts per-packet state that no future decision can read.
+//
+// The batch Detector needs the whole trace in memory because step 2
+// (subnet validation) and step 3 (merging) look backwards at every
+// packet towards a prefix. Those look-backs are bounded in time,
+// though:
+//
+//   - a stream is validated once every packet in its window has a
+//     settled membership, which happens as soon as no still-open
+//     replica stream towards the same /24 began before the window's
+//     end;
+//   - a loop is final once no stream that could merge into it (start
+//     within MergeWindow of its end) can still appear.
+//
+// Tracking the earliest still-undecided time per prefix therefore
+// gives an exact, incremental version of the batch algorithm:
+// StreamDetector produces byte-identical loops (differentially tested)
+// while holding only the undecided tail of the trace.
+//
+// Use it for feeds or multi-hour captures:
+//
+//	sd := core.NewStreamDetector(cfg, func(l *core.Loop) { ... })
+//	for each record { sd.Observe(rec) }
+//	stats := sd.Finish()
+type StreamDetector struct {
+	cfg  Config
+	emit func(*Loop)
+
+	active   map[uint64][]*sbuilder
+	byPrefix map[routing.Prefix]*prefixState
+
+	now         time.Duration
+	n           int
+	parseErrors int
+	pairs       int
+	subnetInval int
+	looped      int
+	streams     int
+	lastSweep   time.Duration
+
+	// peakEntries gauges the bounded-memory claim in tests.
+	peakEntries int
+}
+
+// pktEntry is the retained per-packet state: arrival time and whether
+// the packet turned out to belong to a replica stream.
+type pktEntry struct {
+	t      time.Duration
+	member bool
+}
+
+// sbuilder is the streaming twin of builder.
+type sbuilder struct {
+	masked   []byte
+	hash     uint64
+	prefix   routing.Prefix
+	summary  PacketSummary
+	replicas []Replica
+	// entries point at the retained state of every observation
+	// (replicas and duplicate extras) so flush can settle membership.
+	entries   []*pktEntry
+	lastTTL   uint8
+	lastTime  time.Duration
+	firstTime time.Duration
+}
+
+// pendingStream is a flushed candidate awaiting validation.
+type pendingStream struct {
+	b          *sbuilder
+	start, end time.Duration
+}
+
+// prefixState is everything retained for one /24.
+type prefixState struct {
+	entries []*pktEntry
+	// actives are open builders towards this prefix (for the settle
+	// computation).
+	actives map[*sbuilder]bool
+	// pending are flushed candidates (>= MinReplicas) awaiting
+	// settlement, unordered.
+	pending []pendingStream
+	// validated are validated streams not yet folded into loops,
+	// sorted by start.
+	validated []*ReplicaStream
+	// open is the loop currently accepting streams.
+	open *Loop
+}
+
+// NewStreamDetector returns a streaming detector; emit receives every
+// finalized loop, in order of finalization (per prefix this is start
+// order; across prefixes it follows the trace clock).
+func NewStreamDetector(cfg Config, emit func(*Loop)) *StreamDetector {
+	// Reuse the batch validation of parameters.
+	NewDetector(cfg)
+	if emit == nil {
+		emit = func(*Loop) {}
+	}
+	return &StreamDetector{
+		cfg:      cfg,
+		emit:     emit,
+		active:   make(map[uint64][]*sbuilder),
+		byPrefix: make(map[routing.Prefix]*prefixState),
+	}
+}
+
+func (d *StreamDetector) state(p routing.Prefix) *prefixState {
+	ps := d.byPrefix[p]
+	if ps == nil {
+		ps = &prefixState{actives: make(map[*sbuilder]bool)}
+		d.byPrefix[p] = ps
+	}
+	return ps
+}
+
+// Observe processes the next record; records must arrive in
+// non-decreasing time order.
+func (d *StreamDetector) Observe(rec trace.Record) {
+	d.n++
+	d.now = rec.Time
+
+	pkt, err := packet.Decode(rec.Data)
+	if err != nil {
+		d.parseErrors++
+		return
+	}
+	pfx := routing.PrefixOf(pkt.IP.Dst, d.cfg.PrefixBits)
+	ps := d.state(pfx)
+	entry := &pktEntry{t: rec.Time}
+	ps.entries = append(ps.entries, entry)
+
+	masked := maskReplica(rec.Data)
+	h := fnv64a(masked)
+	rep := Replica{Time: rec.Time, TTL: pkt.IP.TTL, Index: d.n - 1}
+
+	var match *sbuilder
+	for _, b := range d.active[h] {
+		if bytes.Equal(b.masked, masked) {
+			match = b
+			break
+		}
+	}
+	start := func() {
+		b := &sbuilder{
+			masked: masked, hash: h, prefix: pfx,
+			summary:  summarize(&pkt),
+			replicas: []Replica{rep},
+			entries:  []*pktEntry{entry},
+			lastTTL:  rep.TTL, lastTime: rep.Time, firstTime: rep.Time,
+		}
+		d.active[h] = append(d.active[h], b)
+		ps.actives[b] = true
+	}
+	switch {
+	case match == nil:
+		start()
+	case rec.Time-match.lastTime > d.cfg.MaxReplicaGap:
+		d.flushStream(match)
+		d.removeActiveS(match)
+		start()
+	default:
+		delta := int(match.lastTTL) - int(pkt.IP.TTL)
+		switch {
+		case delta >= d.cfg.MinTTLDelta:
+			match.replicas = append(match.replicas, rep)
+			match.entries = append(match.entries, entry)
+			match.lastTTL, match.lastTime = rep.TTL, rep.Time
+		case delta >= 0:
+			match.entries = append(match.entries, entry)
+			match.lastTTL, match.lastTime = rep.TTL, rep.Time
+		default:
+			d.flushStream(match)
+			d.removeActiveS(match)
+			start()
+		}
+	}
+
+	if rec.Time-d.lastSweep > d.cfg.MaxReplicaGap {
+		d.sweepStale(rec.Time)
+		d.advanceAll()
+		d.lastSweep = rec.Time
+	}
+}
+
+func (d *StreamDetector) removeActiveS(b *sbuilder) {
+	lst := d.active[b.hash]
+	for i, x := range lst {
+		if x == b {
+			lst[i] = lst[len(lst)-1]
+			d.active[b.hash] = lst[:len(lst)-1]
+			break
+		}
+	}
+	if len(d.active[b.hash]) == 0 {
+		delete(d.active, b.hash)
+	}
+	delete(d.state(b.prefix).actives, b)
+}
+
+func (d *StreamDetector) sweepStale(now time.Duration) {
+	for h, lst := range d.active {
+		kept := lst[:0]
+		for _, b := range lst {
+			if now-b.lastTime > d.cfg.MaxReplicaGap {
+				d.flushStream(b)
+				delete(d.state(b.prefix).actives, b)
+			} else {
+				kept = append(kept, b)
+			}
+		}
+		if len(kept) == 0 {
+			delete(d.active, h)
+		} else {
+			d.active[h] = kept
+		}
+	}
+}
+
+// flushStream retires a builder: settle membership and queue loop
+// candidates.
+func (d *StreamDetector) flushStream(b *sbuilder) {
+	n := len(b.replicas)
+	if n < d.cfg.MemberReplicas {
+		return
+	}
+	if n == 2 {
+		d.pairs++
+	}
+	for _, e := range b.entries {
+		e.member = true
+	}
+	if n < d.cfg.MinReplicas {
+		return
+	}
+	ps := d.state(b.prefix)
+	ps.pending = append(ps.pending, pendingStream{
+		b:     b,
+		start: b.replicas[0].Time,
+		end:   b.replicas[n-1].Time,
+	})
+}
+
+// settleStart returns the earliest time at which membership towards
+// the prefix is still undecided, and the earliest start of a stream
+// that has not yet been folded into a loop. Infinite when nothing is
+// open.
+func (ps *prefixState) settleStart() (undecided, earliestStream time.Duration) {
+	const inf = time.Duration(1<<63 - 1)
+	undecided, earliestStream = inf, inf
+	for b := range ps.actives {
+		if b.firstTime < undecided {
+			undecided = b.firstTime
+		}
+		if b.firstTime < earliestStream {
+			earliestStream = b.firstTime
+		}
+	}
+	for _, p := range ps.pending {
+		if p.start < earliestStream {
+			earliestStream = p.start
+		}
+	}
+	for _, s := range ps.validated {
+		if s.Start() < earliestStream {
+			earliestStream = s.Start()
+		}
+	}
+	return undecided, earliestStream
+}
+
+// subnetCleanS is the streaming subnet check over retained entries.
+func (ps *prefixState) subnetCleanS(from, to time.Duration) bool {
+	lo := sort.Search(len(ps.entries), func(i int) bool {
+		return ps.entries[i].t >= from
+	})
+	for i := lo; i < len(ps.entries) && ps.entries[i].t <= to; i++ {
+		if !ps.entries[i].member {
+			return false
+		}
+	}
+	return true
+}
+
+// advanceAll makes progress on validation, folding and emission for
+// every prefix with state, then evicts unreachable entries.
+func (d *StreamDetector) advanceAll() {
+	for pfx, ps := range d.byPrefix {
+		d.advance(pfx, ps, false)
+	}
+}
+
+func (d *StreamDetector) advance(pfx routing.Prefix, ps *prefixState, final bool) {
+	undecided, _ := ps.settleStart()
+
+	// Validate pending streams whose windows are fully settled.
+	kept := ps.pending[:0]
+	for _, p := range ps.pending {
+		settled := undecided > p.end && d.now-p.end > d.cfg.MaxReplicaGap
+		if !settled && !final {
+			kept = append(kept, p)
+			continue
+		}
+		if d.cfg.ValidateSubnet && !ps.subnetCleanS(p.start, p.end) {
+			d.subnetInval++
+			continue
+		}
+		s := &ReplicaStream{
+			ID:       d.streams,
+			Prefix:   pfx,
+			Replicas: p.b.replicas,
+			Summary:  p.b.summary,
+		}
+		d.streams++
+		d.looped += len(p.b.replicas)
+		// Insert sorted by start.
+		i := sort.Search(len(ps.validated), func(i int) bool {
+			return ps.validated[i].Start() > s.Start()
+		})
+		ps.validated = append(ps.validated, nil)
+		copy(ps.validated[i+1:], ps.validated[i:])
+		ps.validated[i] = s
+	}
+	ps.pending = kept
+
+	// Fold validated streams into the open loop, in start order. A
+	// stream may be folded once no undecided or pending stream could
+	// precede it.
+	for len(ps.validated) > 0 {
+		s := ps.validated[0]
+		barrier, _ := ps.settleStart()
+		pendingBefore := false
+		for _, p := range ps.pending {
+			if p.start <= s.Start() {
+				pendingBefore = true
+			}
+		}
+		if !final && (barrier <= s.Start() || pendingBefore) {
+			break
+		}
+		ps.validated = ps.validated[1:]
+		switch {
+		case ps.open == nil:
+			ps.open = &Loop{Prefix: pfx, Streams: []*ReplicaStream{s},
+				Start: s.Start(), End: s.End()}
+		case s.Start() <= ps.open.End,
+			s.Start()-ps.open.End < d.cfg.MergeWindow &&
+				(!d.cfg.ValidateSubnet || ps.subnetCleanS(ps.open.End, s.Start())):
+			ps.open.Streams = append(ps.open.Streams, s)
+			if s.End() > ps.open.End {
+				ps.open.End = s.End()
+			}
+		default:
+			d.emit(ps.open)
+			ps.open = &Loop{Prefix: pfx, Streams: []*ReplicaStream{s},
+				Start: s.Start(), End: s.End()}
+		}
+	}
+
+	// Emit the open loop once nothing can merge into it any more.
+	if ps.open != nil {
+		_, earliest := ps.settleStart()
+		deadline := ps.open.End + d.cfg.MergeWindow
+		if final || (d.now > deadline && earliest > deadline) {
+			d.emit(ps.open)
+			ps.open = nil
+		}
+	}
+
+	// Evict entries nothing can read any more.
+	needLow := d.now
+	if ps.open != nil && ps.open.End < needLow {
+		needLow = ps.open.End
+	}
+	u, e := ps.settleStart()
+	if u < needLow {
+		needLow = u
+	}
+	if e < needLow {
+		needLow = e
+	}
+	cut := sort.Search(len(ps.entries), func(i int) bool {
+		return ps.entries[i].t >= needLow
+	})
+	if cut > 0 {
+		ps.entries = append([]*pktEntry(nil), ps.entries[cut:]...)
+	}
+	if live := len(ps.entries); live > d.peakEntries {
+		d.peakEntries = live
+	}
+	if len(ps.entries) == 0 && len(ps.pending) == 0 &&
+		len(ps.validated) == 0 && len(ps.actives) == 0 && ps.open == nil {
+		delete(d.byPrefix, pfx)
+	}
+}
+
+// StreamStats summarises a finished streaming run.
+type StreamStats struct {
+	TotalPackets      int
+	LoopedPackets     int
+	Streams           int
+	ParseErrors       int
+	PairsDiscarded    int
+	SubnetInvalidated int
+	// PeakPrefixEntries is the largest per-prefix retained-entry
+	// count observed — the bounded-memory gauge.
+	PeakPrefixEntries int
+}
+
+// Finish flushes all remaining state, emitting every outstanding loop,
+// and returns the run statistics.
+func (d *StreamDetector) Finish() StreamStats {
+	for _, lst := range d.active {
+		for _, b := range lst {
+			d.flushStream(b)
+			delete(d.state(b.prefix).actives, b)
+		}
+	}
+	d.active = make(map[uint64][]*sbuilder)
+	// Deterministic final order: prefixes by address.
+	var pfxs []routing.Prefix
+	for p := range d.byPrefix {
+		pfxs = append(pfxs, p)
+	}
+	sort.Slice(pfxs, func(i, j int) bool {
+		if pfxs[i].Addr != pfxs[j].Addr {
+			return pfxs[i].Addr.Uint32() < pfxs[j].Addr.Uint32()
+		}
+		return pfxs[i].Bits < pfxs[j].Bits
+	})
+	for _, p := range pfxs {
+		d.advance(p, d.byPrefix[p], true)
+	}
+	return StreamStats{
+		TotalPackets:      d.n,
+		LoopedPackets:     d.looped,
+		Streams:           d.streams,
+		ParseErrors:       d.parseErrors,
+		PairsDiscarded:    d.pairs,
+		SubnetInvalidated: d.subnetInval,
+		PeakPrefixEntries: d.peakEntries,
+	}
+}

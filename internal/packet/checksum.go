@@ -1,0 +1,41 @@
+// Package packet implements encoding and decoding of the IPv4, TCP,
+// UDP and ICMP headers that appear in backbone packet traces, together
+// with the internet checksum and the traffic-type classification used
+// by the paper's analysis (Figures 5 and 6).
+//
+// The design follows the layer-decoding idiom popularised by gopacket
+// — fixed header structs with DecodeFromBytes/SerializeTo style
+// methods — but is stdlib-only and trimmed to the protocols a 40-byte
+// backbone snapshot can contain.
+package packet
+
+// Checksum computes the RFC 1071 internet checksum over data,
+// starting from the given initial partial sum. Pass 0 for a plain
+// checksum; pass a pseudo-header sum for TCP/UDP.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum returns the partial sum of the IPv4 pseudo-header
+// used by the TCP and UDP checksums.
+func pseudoHeaderSum(src, dst Addr, protocol uint8, length uint16) uint32 {
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(protocol)
+	sum += uint32(length)
+	return sum
+}

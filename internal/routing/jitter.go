@@ -1,0 +1,30 @@
+package routing
+
+import (
+	"time"
+
+	"loopscope/internal/stats"
+)
+
+// Jittered is a uniform delay range: every Draw returns a fresh value
+// in [Min, Max]. Protocol timing (flood hops, SPF hold-downs, FIB
+// updates, MRAI) is expressed with it so that different routers make
+// progress at different speeds — the skew that creates transient
+// loops.
+type Jittered struct {
+	Min, Max time.Duration
+}
+
+// Fixed returns a zero-width range.
+func Fixed(d time.Duration) Jittered { return Jittered{Min: d, Max: d} }
+
+// Range returns the range [min, max].
+func Range(min, max time.Duration) Jittered { return Jittered{Min: min, Max: max} }
+
+// Draw samples the range.
+func (j Jittered) Draw(rng *stats.RNG) time.Duration {
+	if j.Max <= j.Min {
+		return j.Min
+	}
+	return j.Min + time.Duration(rng.Int63n(int64(j.Max-j.Min)))
+}

@@ -1,0 +1,495 @@
+// Package scenario assembles complete backbone experiments: a
+// monitored OC-12-class link, destination "loop pockets" engineered so
+// that transient loops of chosen sizes cross that link, IGP/BGP
+// control planes with realistic convergence timing, a synthetic
+// traffic workload, a link tap, and a failure schedule.
+//
+// The pocket construction deserves a sketch. Every pocket serves a set
+// of /24 prefixes through a primary exit chain hanging off the far end
+// of the monitored link (c1→c2):
+//
+//	c1 ==M==> c2 → pa → pe   (primary exit, prefixes at pe)
+//	 ^                \
+//	 └── rsN ← … ← rs1┘      (directed cheap return ring)
+//	       └→ pb             (backup exit, deliberately expensive)
+//
+// When the pa–pe link fails, converged routers send pocket traffic
+// towards the backup exit pb over the return ring, while stale routers
+// still push it across M towards the dead primary. Until the slowest
+// ring member updates its FIB, packets cycle c1 → c2 → rs1 → … → rsN →
+// c1, crossing M once per revolution: a replica stream whose TTL delta
+// equals the ring length (2 when the ring is just c1/c2). The pocket
+// mix therefore directly programs the paper's Figure 2 distribution,
+// and the convergence-timer jitter programs Figures 8 and 9.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"loopscope/internal/capture"
+	"loopscope/internal/events"
+	"loopscope/internal/netsim"
+	"loopscope/internal/packet"
+	"loopscope/internal/routing"
+	"loopscope/internal/routing/bgp"
+	"loopscope/internal/routing/igp"
+	"loopscope/internal/stats"
+	"loopscope/internal/trace"
+	"loopscope/internal/traffic"
+)
+
+// PocketSpec configures one loop pocket.
+type PocketSpec struct {
+	// Delta is the TTL delta of the loops this pocket produces: the
+	// length of its return ring (2 = the two monitored-link routers).
+	Delta int
+	// Prefixes is the number of /24s served by the pocket.
+	Prefixes int
+	// Failures is the number of fail/repair events scheduled on the
+	// primary exit link.
+	Failures int
+	// RepairAfter is how long each failure lasts.
+	RepairAfter time.Duration
+	// BGPDriven selects a BGP egress shift (external withdrawal, MRAI
+	// pacing, long convergence) instead of an IGP link failure.
+	BGPDriven bool
+}
+
+// Spec configures one backbone experiment.
+type Spec struct {
+	Name string
+	Seed uint64
+	// Duration is the traffic window; the simulator runs a little
+	// longer to drain.
+	Duration time.Duration
+	// PacketsPerSecond is the offered load at the ingresses.
+	PacketsPerSecond float64
+	// Pockets is the loop-pocket mix.
+	Pockets []PocketSpec
+	// StablePrefixes is the number of never-failing destination /24s.
+	StablePrefixes int
+	// Mix is the traffic composition; zero value selects DefaultMix.
+	Mix *traffic.Mix
+	// IGP/BGP timing; zero values select the package defaults.
+	IGP *igp.Config
+	BGP *bgp.Config
+	// PropDelay is the per-link propagation delay (default 1ms).
+	PropDelay time.Duration
+	// ProcJitter adds deterministic per-packet forwarding jitter in
+	// [0, ProcJitter) on every link — the "random noise such as
+	// queuing delay" the paper says blurs Figure 8's steps.
+	ProcJitter time.Duration
+	// LinkBandwidth is the per-link rate in bits per second (default
+	// the OC-12-class 622 Mbps). Lower it to study loops on a busy
+	// link, where replica amplification causes collateral queueing.
+	LinkBandwidth float64
+	// SnapLen is the capture snapshot length (default 40).
+	SnapLen int
+	// AnomalousICMPHost mirrors the odd reserved-type-ICMP host the
+	// paper saw on Backbones 1 and 2.
+	AnomalousICMPHost bool
+	// PingOnAbort is the probability a failed TCP flow triggers an
+	// echo train (default 0.25).
+	PingOnAbort float64
+	// LineLossRate is the per-link line-error drop probability
+	// (default 2e-4), the background against which loop loss is
+	// measured.
+	LineLossRate float64
+	// DupRate is the link-layer duplication artefact rate at the
+	// capture point (default 5e-5): the source of the two-element
+	// replica sets the detector's step 2 discards.
+	DupRate float64
+	// PersistentPrefixes adds that many /24s caught in a persistent
+	// misconfiguration loop on the monitored link for the entire run:
+	// stale static routes at the two core routers point at each
+	// other, and no protocol ever overwrites them (the prefixes are
+	// not advertised anywhere). The paper sets persistent loops aside
+	// (§I); this knob exists for the persistence-classification
+	// experiment.
+	PersistentPrefixes int
+	// RecordAllFates keeps a Fate for every packet (memory-heavy;
+	// tests only).
+	RecordAllFates bool
+}
+
+// Backbone is a built experiment, ready to Run.
+type Backbone struct {
+	Spec Spec
+	Net  *netsim.Network
+	// Monitored is the tapped link (c1→c2).
+	Monitored *netsim.Link
+	Tap       *capture.LinkTap
+	Gen       *traffic.Generator
+	IGP       *igp.Protocol
+	BGP       *bgp.Protocol
+	// DestPrefixes lists every advertised destination /24.
+	DestPrefixes []routing.Prefix
+
+	rng     *stats.RNG
+	drained bool
+}
+
+// pocketPlan records per-pocket wiring for the failure schedule.
+type pocketPlan struct {
+	spec        PocketSpec
+	primaryLink *netsim.Link
+	extPrimary  *bgp.Speaker
+	prefixes    []routing.Prefix
+	// pocketExt / pocketBorders are set for BGP-driven pockets: the
+	// external AS routers and the border routers they peer with.
+	pocketExt     [2]*netsim.Router
+	pocketBorders [2]*netsim.Router
+}
+
+// Build wires the full experiment. It leaves the simulator at time 0;
+// call Run to execute it.
+func Build(spec Spec) *Backbone {
+	if spec.Duration <= 0 {
+		spec.Duration = 5 * time.Minute
+	}
+	if spec.PacketsPerSecond <= 0 {
+		spec.PacketsPerSecond = 1000
+	}
+	if spec.PropDelay <= 0 {
+		spec.PropDelay = time.Millisecond
+	}
+	if spec.SnapLen <= 0 {
+		spec.SnapLen = trace.DefaultSnapLen
+	}
+	if spec.StablePrefixes <= 0 {
+		spec.StablePrefixes = 64
+	}
+	if spec.PingOnAbort == 0 {
+		spec.PingOnAbort = 0.25
+	}
+	if len(spec.Pockets) == 0 {
+		spec.Pockets = []PocketSpec{{Delta: 2, Prefixes: 4, Failures: 3, RepairAfter: 30 * time.Second}}
+	}
+
+	rng := stats.NewRNG(spec.Seed ^ 0x10c0)
+	net := netsim.NewNetwork()
+	net.Journal = events.NewJournal()
+	if spec.RecordAllFates {
+		net.FateFilter = func(*netsim.Fate) bool { return true }
+	}
+	b := &Backbone{Spec: spec, Net: net, rng: rng}
+
+	if spec.LineLossRate == 0 {
+		spec.LineLossRate = 2e-4
+	}
+	if spec.DupRate == 0 {
+		spec.DupRate = 5e-5
+	}
+	lp := func(fwd, rev int) netsim.LinkParams {
+		p := netsim.DefaultLinkParams()
+		p.PropDelay = spec.PropDelay
+		if spec.LinkBandwidth > 0 {
+			p.Bandwidth = spec.LinkBandwidth
+		}
+		p.CostAB, p.CostBA = fwd, rev
+		p.LossRate = spec.LineLossRate
+		p.ProcJitter = spec.ProcJitter
+		return p
+	}
+
+	// Core of the monitored link.
+	loop := func(i int) packet.Addr { return packet.AddrFrom(10, 0, 0, byte(i+1)) }
+	nAddr := 0
+	newRouter := func(name string) *netsim.Router {
+		r := net.AddRouter(name, loop(nAddr))
+		nAddr++
+		r.AttachPrefix(routing.NewPrefix(r.Loopback, 32))
+		return r
+	}
+
+	ing1 := newRouter("ing1")
+	ing2 := newRouter("ing2")
+	c1 := newRouter("c1")
+	c2 := newRouter("c2")
+	// Ingress host pools are routable so ICMP errors generated inside
+	// the network (time exceeded, unreachables) can travel back to
+	// the sources.
+	ing1.AttachPrefix(routing.MustParsePrefix("10.10.0.0/16"))
+	ing2.AttachPrefix(routing.MustParsePrefix("10.20.0.0/16"))
+	net.Connect(ing1, c1, lp(1, 1))
+	net.Connect(ing2, c1, lp(1, 1))
+	b.Monitored = net.Connect(c1, c2, lp(1, 1))
+
+	// Stable destinations: an exit chain off c2 that never fails.
+	sa := newRouter("sa")
+	se := newRouter("se")
+	net.Connect(c2, sa, lp(1, 1))
+	net.Connect(sa, se, lp(1, 1))
+	stable := prefixBlock(198, 18, spec.StablePrefixes)
+	for _, p := range stable {
+		se.AttachPrefix(p)
+	}
+	b.DestPrefixes = append(b.DestPrefixes, stable...)
+
+	// Multicast "rendezvous": deliverable beyond the monitored link so
+	// multicast traffic crosses it (a deliberate simplification; see
+	// DESIGN.md).
+	se.AttachPrefix(routing.MustParsePrefix("224.0.0.0/4"))
+
+	// Pockets.
+	var plans []*pocketPlan
+	var bgpNeeded bool
+	for i, ps := range spec.Pockets {
+		if ps.Delta < 2 {
+			panic(fmt.Sprintf("scenario: pocket %d: Delta must be >= 2", i))
+		}
+		if ps.Prefixes <= 0 {
+			ps.Prefixes = 4
+		}
+		plan := b.buildPocket(i, ps, c1, c2, newRouter, lp)
+		plans = append(plans, plan)
+		if ps.BGPDriven {
+			bgpNeeded = true
+		}
+	}
+
+	// IGP over everything.
+	igpCfg := igp.DefaultConfig()
+	if spec.IGP != nil {
+		igpCfg = *spec.IGP
+	}
+	b.IGP = igp.Attach(net, igpCfg, rng.Fork())
+	b.IGP.Start()
+
+	// BGP when any pocket needs it.
+	if bgpNeeded {
+		bgpCfg := bgp.DefaultConfig()
+		if spec.BGP != nil {
+			bgpCfg = *spec.BGP
+		}
+		b.BGP = bgp.Attach(net, bgpCfg, rng.Fork())
+		external := make(map[netsim.NodeID]bool)
+		for _, plan := range plans {
+			if plan.spec.BGPDriven {
+				external[plan.pocketExt[0].ID] = true
+				external[plan.pocketExt[1].ID] = true
+			}
+		}
+		for _, r := range net.Routers() {
+			if external[r.ID] {
+				continue // externals get their own AS below
+			}
+			b.BGP.AddSpeaker(r, 100)
+		}
+		b.BGP.MeshAS(100)
+		for _, plan := range plans {
+			if plan.spec.BGPDriven {
+				b.wireBGPPocket(plan)
+			}
+		}
+	}
+
+	// Failure schedule: events uniformly placed, separated enough for
+	// reconvergence.
+	for _, plan := range plans {
+		b.schedulePocket(plan)
+	}
+
+	// Persistent misconfiguration: static routes for unadvertised
+	// prefixes pointing at each other across the monitored link.
+	if spec.PersistentPrefixes > 0 {
+		persistent := prefixBlock(203, 0, spec.PersistentPrefixes)
+		for _, p := range persistent {
+			// The block is not advertised by any protocol: the
+			// ingresses reach it through a static aggregate towards
+			// the core, where the two conflicting statics live.
+			ing1.SetRoute(p, c1.ID)
+			ing2.SetRoute(p, c1.ID)
+			c1.SetRoute(p, c2.ID)
+			c2.SetRoute(p, c1.ID)
+		}
+		b.DestPrefixes = append(b.DestPrefixes, persistent...)
+	}
+
+	// Tap on the monitored link, with the paper's link-layer
+	// duplication artefacts.
+	b.Tap = capture.NewLinkTapOpts(b.Monitored, capture.Options{
+		SnapLen:    spec.SnapLen,
+		Retain:     true,
+		DupRate:    spec.DupRate,
+		DupTTLDrop: 2,
+		DupDelay:   500 * time.Microsecond,
+		RNG:        rng.Fork(),
+	})
+
+	// Traffic.
+	mix := traffic.DefaultMix()
+	if spec.Mix != nil {
+		mix = *spec.Mix
+	}
+	b.Gen = traffic.NewGenerator(net, traffic.Config{
+		Mix:              mix,
+		PacketsPerSecond: spec.PacketsPerSecond,
+		Start:            0,
+		Duration:         spec.Duration,
+		Ingresses: []traffic.Ingress{
+			{Router: ing1, Hosts: routing.MustParsePrefix("10.10.0.0/16")},
+			{Router: ing2, Hosts: routing.MustParsePrefix("10.20.0.0/16")},
+		},
+		DestPrefixes:      b.DestPrefixes,
+		ZipfS:             1.05,
+		McastGroups:       []packet.Addr{packet.MustParseAddr("224.2.127.254"), packet.MustParseAddr("224.0.18.4")},
+		AnomalousICMPHost: spec.AnomalousICMPHost,
+		PingOnAbort:       spec.PingOnAbort,
+	}, rng.Fork())
+	b.Gen.Start()
+
+	return b
+}
+
+// prefixBlock returns n /24s inside blockA.blockB.0.0/16-ish space,
+// spreading across the second octet when n > 256.
+func prefixBlock(octA, octB byte, n int) []routing.Prefix {
+	out := make([]routing.Prefix, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, routing.NewPrefix(
+			packet.AddrFrom(octA, octB+byte(i/256), byte(i%256), 0), 24))
+	}
+	return out
+}
+
+// buildPocket wires one pocket's routers, links and prefixes.
+func (b *Backbone) buildPocket(idx int, ps PocketSpec, c1, c2 *netsim.Router,
+	newRouter func(string) *netsim.Router,
+	lp func(int, int) netsim.LinkParams) *pocketPlan {
+
+	name := func(role string) string { return fmt.Sprintf("p%d-%s", idx, role) }
+	pa := newRouter(name("pa"))
+	pe := newRouter(name("pe"))
+	b.Net.Connect(c2, pa, lp(1, 1))
+	primary := b.Net.Connect(pa, pe, lp(1, 1))
+
+	// Return ring: c2 → rs1 → … → rsN → c1, cheap in that direction
+	// only. Delta 2 means no intermediate nodes: the backup hangs off
+	// c1 and the return is the monitored link's own reverse.
+	ringTail := c1
+	if ps.Delta > 2 {
+		prev := c2
+		for j := 0; j < ps.Delta-2; j++ {
+			rs := newRouter(fmt.Sprintf("p%d-rs%d", idx, j+1))
+			b.Net.Connect(prev, rs, lp(1, 8))
+			prev = rs
+		}
+		b.Net.Connect(prev, c1, lp(1, 8))
+		ringTail = prev
+	}
+
+	// Backup exit off the ring tail, expensive so it only wins when
+	// the primary is gone.
+	pb := newRouter(name("pb"))
+	b.Net.Connect(ringTail, pb, lp(10, 10))
+
+	// Pocket prefixes live in the historical class-C space, which is
+	// what concentrates Figure 7's points there.
+	prefixes := prefixBlock(192+byte(idx%4), byte(168+idx), ps.Prefixes)
+	plan := &pocketPlan{spec: ps, primaryLink: primary, prefixes: prefixes}
+	b.DestPrefixes = append(b.DestPrefixes, prefixes...)
+
+	if ps.BGPDriven {
+		// Externals own the prefixes; wiring of speakers happens once
+		// the BGP protocol exists.
+		ext1 := newRouter(name("ext1"))
+		ext2 := newRouter(name("ext2"))
+		b.Net.Connect(pe, ext1, lp(1, 1))
+		b.Net.Connect(pb, ext2, lp(1, 1))
+		for _, p := range prefixes {
+			ext1.AttachPrefix(p)
+			ext2.AttachPrefix(p)
+		}
+		plan.pocketExt = [2]*netsim.Router{ext1, ext2}
+		plan.pocketBorders = [2]*netsim.Router{pe, pb}
+	} else {
+		// IGP anycast: primary and backup exits both attach the
+		// prefixes; distance decides.
+		for _, p := range prefixes {
+			pe.AttachPrefix(p)
+			pb.AttachPrefix(p)
+		}
+	}
+	return plan
+}
+
+// wireBGPPocket creates the external speakers and sessions for a
+// BGP-driven pocket and originates its prefixes.
+func (b *Backbone) wireBGPPocket(plan *pocketPlan) {
+	ext1, ext2 := plan.pocketExt[0], plan.pocketExt[1]
+	pe, pb := plan.pocketBorders[0], plan.pocketBorders[1]
+	s1 := b.BGP.AddSpeaker(ext1, 200)
+	b.BGP.AddSpeaker(ext2, 300)
+	if err := b.BGP.Peer(pe.ID, ext1.ID); err != nil {
+		panic(err)
+	}
+	if err := b.BGP.Peer(pb.ID, ext2.ID); err != nil {
+		panic(err)
+	}
+	for _, p := range plan.prefixes {
+		s1.Originate(p)
+		b.BGP.Speaker(ext2.ID).Originate(p)
+	}
+	plan.extPrimary = s1
+}
+
+// schedulePocket places the pocket's failure/repair (or
+// withdraw/re-advertise) events.
+func (b *Backbone) schedulePocket(plan *pocketPlan) {
+	ps := plan.spec
+	if ps.Failures <= 0 {
+		return
+	}
+	repair := ps.RepairAfter
+	if repair <= 0 {
+		repair = 30 * time.Second
+	}
+	window := b.Spec.Duration - repair - 30*time.Second
+	if window <= 0 {
+		window = b.Spec.Duration / 2
+	}
+	slot := window / time.Duration(ps.Failures)
+	for i := 0; i < ps.Failures; i++ {
+		at := 10*time.Second + time.Duration(i)*slot +
+			time.Duration(b.rng.Int63n(int64(slot/2+1)))
+		if ps.BGPDriven {
+			at := at
+			b.Net.Sim.At(at, func() {
+				for _, p := range plan.prefixes {
+					plan.extPrimary.Withdraw(p)
+				}
+			})
+			b.Net.Sim.At(at+repair, func() {
+				for _, p := range plan.prefixes {
+					plan.extPrimary.Originate(p)
+				}
+			})
+		} else {
+			b.Net.FailLink(plan.primaryLink, at)
+			b.Net.RepairLink(plan.primaryLink, at+repair)
+		}
+	}
+}
+
+// Run executes the experiment: the traffic window plus a drain period.
+func (b *Backbone) Run() {
+	b.Net.Sim.Run(b.Spec.Duration + 30*time.Second)
+	b.drained = true
+}
+
+// Records returns the captured trace. Run must have been called.
+func (b *Backbone) Records() []trace.Record {
+	if !b.drained {
+		panic("scenario: Records before Run")
+	}
+	return b.Tap.Records()
+}
+
+// Meta returns the capture metadata.
+func (b *Backbone) Meta() trace.Meta {
+	m := b.Tap.Meta()
+	m.Link = b.Spec.Name
+	return m
+}

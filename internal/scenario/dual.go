@@ -1,0 +1,211 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"loopscope/internal/capture"
+	"loopscope/internal/events"
+	"loopscope/internal/netsim"
+	"loopscope/internal/packet"
+	"loopscope/internal/routing"
+	"loopscope/internal/routing/igp"
+	"loopscope/internal/stats"
+	"loopscope/internal/trace"
+	"loopscope/internal/traffic"
+)
+
+// DualBackbone is a single network monitored at two consecutive links,
+// the way the paper's traces were gathered "in parallel over multiple
+// uni-directional OC-12 links": one loop event shows up in both
+// traces, with the downstream tap seeing every replica one TTL lower.
+//
+//	ing → c0 ==M1==> c1 ==M2==> c2 → pa → pe   (primary exit)
+//	       ^                     |
+//	       └── rsN ← … ← rs1 ────┘             (return ring)
+//	             └→ pb                          (backup exit)
+//
+// A pocket's loop cycle is c0 → c1 → c2 → rs… → c0, crossing both
+// monitored links once per revolution.
+type DualBackbone struct {
+	Spec       Spec
+	Net        *netsim.Network
+	M1, M2     *netsim.Link
+	Tap1, Tap2 *capture.LinkTap
+	Gen        *traffic.Generator
+	IGP        *igp.Protocol
+
+	drained bool
+}
+
+// BuildDual wires a dual-vantage experiment. Pocket deltas must be at
+// least 3 (the cycle necessarily spans c0, c1 and c2). BGP-driven
+// pockets are not supported here.
+func BuildDual(spec Spec) *DualBackbone {
+	if spec.Duration <= 0 {
+		spec.Duration = 2 * time.Minute
+	}
+	if spec.PacketsPerSecond <= 0 {
+		spec.PacketsPerSecond = 800
+	}
+	if spec.PropDelay <= 0 {
+		spec.PropDelay = time.Millisecond
+	}
+	if spec.SnapLen <= 0 {
+		spec.SnapLen = trace.DefaultSnapLen
+	}
+	if spec.StablePrefixes <= 0 {
+		spec.StablePrefixes = 32
+	}
+	if spec.LineLossRate == 0 {
+		spec.LineLossRate = 2e-4
+	}
+	if len(spec.Pockets) == 0 {
+		spec.Pockets = []PocketSpec{{Delta: 3, Prefixes: 4, Failures: 3, RepairAfter: 25 * time.Second}}
+	}
+
+	rng := stats.NewRNG(spec.Seed ^ 0xd0a1)
+	net := netsim.NewNetwork()
+	net.Journal = events.NewJournal()
+	d := &DualBackbone{Spec: spec, Net: net}
+
+	lp := func(fwd, rev int) netsim.LinkParams {
+		p := netsim.DefaultLinkParams()
+		p.PropDelay = spec.PropDelay
+		if spec.LinkBandwidth > 0 {
+			p.Bandwidth = spec.LinkBandwidth
+		}
+		p.CostAB, p.CostBA = fwd, rev
+		p.LossRate = spec.LineLossRate
+		return p
+	}
+	nAddr := 0
+	newRouter := func(name string) *netsim.Router {
+		r := net.AddRouter(name, packet.AddrFrom(10, 0, 1, byte(nAddr+1)))
+		nAddr++
+		r.AttachPrefix(routing.NewPrefix(r.Loopback, 32))
+		return r
+	}
+
+	ing := newRouter("ing")
+	ing.AttachPrefix(routing.MustParsePrefix("10.10.0.0/16"))
+	c0 := newRouter("c0")
+	c1 := newRouter("c1")
+	c2 := newRouter("c2")
+	net.Connect(ing, c0, lp(1, 1))
+	d.M1 = net.Connect(c0, c1, lp(1, 1))
+	d.M2 = net.Connect(c1, c2, lp(1, 1))
+
+	// Stable destinations beyond c2.
+	sa := newRouter("sa")
+	se := newRouter("se")
+	net.Connect(c2, sa, lp(1, 1))
+	net.Connect(sa, se, lp(1, 1))
+	stable := prefixBlock(198, 18, spec.StablePrefixes)
+	for _, p := range stable {
+		se.AttachPrefix(p)
+	}
+	dests := append([]routing.Prefix{}, stable...)
+
+	// Pockets: cycle c0→c1→c2→rs…→c0 has Delta routers, so the ring
+	// carries Delta-3 intermediate nodes.
+	type plan struct {
+		spec PocketSpec
+		link *netsim.Link
+	}
+	var plans []plan
+	for i, ps := range spec.Pockets {
+		if ps.Delta < 3 {
+			panic(fmt.Sprintf("scenario: dual pocket %d: Delta must be >= 3", i))
+		}
+		if ps.BGPDriven {
+			panic("scenario: dual-vantage does not support BGP pockets")
+		}
+		if ps.Prefixes <= 0 {
+			ps.Prefixes = 4
+		}
+		name := func(role string) string { return fmt.Sprintf("p%d-%s", i, role) }
+		pa := newRouter(name("pa"))
+		pe := newRouter(name("pe"))
+		net.Connect(c2, pa, lp(1, 1))
+		primary := net.Connect(pa, pe, lp(1, 1))
+
+		prev := c2
+		for j := 0; j < ps.Delta-3; j++ {
+			rs := newRouter(fmt.Sprintf("p%d-rs%d", i, j+1))
+			net.Connect(prev, rs, lp(1, 8))
+			prev = rs
+		}
+		net.Connect(prev, c0, lp(1, 8))
+		pb := newRouter(name("pb"))
+		net.Connect(prev, pb, lp(10, 10))
+
+		prefixes := prefixBlock(192+byte(i%4), byte(168+i), ps.Prefixes)
+		for _, p := range prefixes {
+			pe.AttachPrefix(p)
+			pb.AttachPrefix(p)
+		}
+		dests = append(dests, prefixes...)
+		plans = append(plans, plan{spec: ps, link: primary})
+	}
+
+	igpCfg := igp.DefaultConfig()
+	if spec.IGP != nil {
+		igpCfg = *spec.IGP
+	}
+	d.IGP = igp.Attach(net, igpCfg, rng.Fork())
+	d.IGP.Start()
+
+	for _, pl := range plans {
+		repair := pl.spec.RepairAfter
+		if repair <= 0 {
+			repair = 25 * time.Second
+		}
+		window := spec.Duration - repair - 20*time.Second
+		if window <= 0 {
+			window = spec.Duration / 2
+		}
+		slot := window / time.Duration(max(pl.spec.Failures, 1))
+		for i := 0; i < pl.spec.Failures; i++ {
+			at := 10*time.Second + time.Duration(i)*slot +
+				time.Duration(rng.Int63n(int64(slot/2+1)))
+			net.FailLink(pl.link, at)
+			net.RepairLink(pl.link, at+repair)
+		}
+	}
+
+	d.Tap1 = capture.NewLinkTap(d.M1, spec.SnapLen, nil, true)
+	d.Tap2 = capture.NewLinkTap(d.M2, spec.SnapLen, nil, true)
+
+	mix := traffic.DefaultMix()
+	if spec.Mix != nil {
+		mix = *spec.Mix
+	}
+	d.Gen = traffic.NewGenerator(net, traffic.Config{
+		Mix:              mix,
+		PacketsPerSecond: spec.PacketsPerSecond,
+		Duration:         spec.Duration,
+		Ingresses: []traffic.Ingress{
+			{Router: ing, Hosts: routing.MustParsePrefix("10.10.0.0/16")},
+		},
+		DestPrefixes: dests,
+		ZipfS:        1.05,
+		PingOnAbort:  0.3,
+	}, rng.Fork())
+	d.Gen.Start()
+	return d
+}
+
+// Run executes the experiment.
+func (d *DualBackbone) Run() {
+	d.Net.Sim.Run(d.Spec.Duration + 30*time.Second)
+	d.drained = true
+}
+
+// Records returns both captured traces. Run must have been called.
+func (d *DualBackbone) Records() (m1, m2 []trace.Record) {
+	if !d.drained {
+		panic("scenario: Records before Run")
+	}
+	return d.Tap1.Records(), d.Tap2.Records()
+}

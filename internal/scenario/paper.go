@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"time"
+
+	"loopscope/internal/routing/igp"
+	"loopscope/internal/traffic"
+)
+
+// PaperBackbones returns the four monitored-link experiments standing
+// in for the paper's Table I traces. Absolute scale is reduced (the
+// paper's traces are hours of OC-12; a simulator regenerates the same
+// statistics from minutes), but the relative structure is preserved:
+//
+//   - Backbones 1 and 2 are the November 2001 pair: moderate IGP
+//     convergence, BGP-driven egress shifts contributing loops longer
+//     than 10 s (Figure 9's tail), the anomalous reserved-type-ICMP
+//     host, and — for Backbone 2 — a several-times-higher offered load
+//     so its looped-packet count is similar in absolute terms but far
+//     smaller relatively (Table I).
+//   - Backbones 3 and 4 are the February 2002 pair: faster, tuned IGP
+//     timers (90% of loops under 10 s), lower rates, and longer
+//     per-hop propagation so inter-replica spacing stretches towards
+//     10–22 ms (Figure 4). Backbone 4's pocket mix is rebalanced
+//     towards delta 3 (the paper reports ≈55%/35% for deltas 2/3) and
+//     its hosts use three dominant initial TTLs, which is what gives
+//     its Figure 8 curve three distinct steps.
+func PaperBackbones() []Spec {
+	nov := igp.Config{
+		FloodHop:   igp.Range(10*time.Millisecond, 50*time.Millisecond),
+		SPFHold:    igp.Range(300*time.Millisecond, 2*time.Second),
+		SPFCompute: igp.Range(30*time.Millisecond, 150*time.Millisecond),
+		FIBUpdate:  igp.Range(500*time.Millisecond, 6*time.Second),
+	}
+	feb := igp.Config{
+		FloodHop:   igp.Range(5*time.Millisecond, 25*time.Millisecond),
+		SPFHold:    igp.Range(100*time.Millisecond, 1200*time.Millisecond),
+		SPFCompute: igp.Range(10*time.Millisecond, 80*time.Millisecond),
+		FIBUpdate:  igp.Range(300*time.Millisecond, 4500*time.Millisecond),
+	}
+
+	mix4 := traffic.DefaultMix()
+	mix4.InitialTTLs = []traffic.TTLWeight{
+		{TTL: 64, Weight: 0.42},
+		{TTL: 128, Weight: 0.36},
+		{TTL: 32, Weight: 0.22},
+	}
+
+	return []Spec{
+		{
+			Name: "backbone1", Seed: 101,
+			Duration:         600 * time.Second,
+			PacketsPerSecond: 1200,
+			StablePrefixes:   96,
+			IGP:              &nov,
+			PropDelay:        time.Millisecond,
+			Pockets: []PocketSpec{
+				{Delta: 2, Prefixes: 5, Failures: 5, RepairAfter: 40 * time.Second},
+				{Delta: 2, Prefixes: 5, Failures: 4, RepairAfter: 35 * time.Second},
+				{Delta: 2, Prefixes: 4, Failures: 3, RepairAfter: 30 * time.Second},
+				{Delta: 3, Prefixes: 3, Failures: 2, RepairAfter: 35 * time.Second},
+				{Delta: 4, Prefixes: 3, Failures: 1, RepairAfter: 30 * time.Second},
+				{Delta: 6, Prefixes: 2, Failures: 1, RepairAfter: 30 * time.Second},
+				{Delta: 2, Prefixes: 4, Failures: 2, RepairAfter: 60 * time.Second, BGPDriven: true},
+				{Delta: 2, Prefixes: 3, Failures: 1, RepairAfter: 60 * time.Second, BGPDriven: true},
+			},
+			AnomalousICMPHost: true,
+			PingOnAbort:       0.45,
+		},
+		{
+			Name: "backbone2", Seed: 202,
+			Duration:         600 * time.Second,
+			PacketsPerSecond: 5000,
+			StablePrefixes:   128,
+			IGP:              &nov,
+			PropDelay:        time.Millisecond,
+			Pockets: []PocketSpec{
+				{Delta: 2, Prefixes: 4, Failures: 3, RepairAfter: 40 * time.Second},
+				{Delta: 2, Prefixes: 4, Failures: 2, RepairAfter: 35 * time.Second},
+				{Delta: 2, Prefixes: 3, Failures: 2, RepairAfter: 30 * time.Second},
+				{Delta: 3, Prefixes: 3, Failures: 2, RepairAfter: 30 * time.Second},
+				{Delta: 3, Prefixes: 2, Failures: 2, RepairAfter: 30 * time.Second},
+				{Delta: 5, Prefixes: 2, Failures: 2, RepairAfter: 30 * time.Second},
+				{Delta: 2, Prefixes: 3, Failures: 2, RepairAfter: 60 * time.Second, BGPDriven: true},
+			},
+			AnomalousICMPHost: true,
+			PingOnAbort:       0.45,
+		},
+		{
+			Name: "backbone3", Seed: 303,
+			Duration:         300 * time.Second,
+			PacketsPerSecond: 700,
+			StablePrefixes:   80,
+			IGP:              &feb,
+			PropDelay:        2500 * time.Microsecond,
+			Pockets: []PocketSpec{
+				{Delta: 2, Prefixes: 4, Failures: 4, RepairAfter: 30 * time.Second},
+				{Delta: 2, Prefixes: 4, Failures: 3, RepairAfter: 25 * time.Second},
+				{Delta: 2, Prefixes: 3, Failures: 3, RepairAfter: 25 * time.Second},
+				{Delta: 3, Prefixes: 3, Failures: 2, RepairAfter: 25 * time.Second},
+				{Delta: 8, Prefixes: 2, Failures: 1, RepairAfter: 25 * time.Second},
+			},
+			PingOnAbort: 0.5,
+		},
+		{
+			Name: "backbone4", Seed: 404,
+			Duration:         300 * time.Second,
+			PacketsPerSecond: 1100,
+			StablePrefixes:   80,
+			IGP:              &feb,
+			PropDelay:        4 * time.Millisecond,
+			Mix:              &mix4,
+			Pockets: []PocketSpec{
+				{Delta: 2, Prefixes: 4, Failures: 3, RepairAfter: 30 * time.Second},
+				{Delta: 2, Prefixes: 3, Failures: 2, RepairAfter: 25 * time.Second},
+				{Delta: 3, Prefixes: 4, Failures: 3, RepairAfter: 25 * time.Second},
+				{Delta: 3, Prefixes: 3, Failures: 2, RepairAfter: 25 * time.Second},
+				{Delta: 5, Prefixes: 2, Failures: 1, RepairAfter: 25 * time.Second},
+			},
+		},
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzNativeReader: arbitrary bytes through the native reader must
+// never panic or allocate absurdly; valid files round-trip.
+func FuzzNativeReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Link: "seed", SnapLen: 40, Start: time.Unix(1, 0)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Write(Record{Time: time.Millisecond, WireLen: 100, Data: []byte{1, 2, 3, 4}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("LSPT"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			rec, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(rec.Data) > r.Meta().SnapLen {
+				t.Fatalf("caplen %d beyond snaplen %d", len(rec.Data), r.Meta().SnapLen)
+			}
+		}
+	})
+}
+
+// FuzzPcapReader: same robustness contract for the pcap parser.
+func FuzzPcapReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf, Meta{SnapLen: 40, Start: time.Unix(1, 0)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Write(Record{Time: 0, WireLen: 60, Data: []byte{0x45, 0, 0, 1}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:24])
+	f.Add([]byte{0xa1, 0xb2, 0xc3, 0xd4})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewPcapReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Native format:
+//
+//	magic   "LSPT" (4 bytes)
+//	version uint16 (currently 1)
+//	snaplen uint16
+//	start   int64 (unix nanoseconds)
+//	linklen uint16, link name bytes
+//	records: time uint64 (ns offset), wirelen uint16, caplen uint16,
+//	         caplen data bytes
+//
+// All integers are big-endian.
+
+var nativeMagic = [4]byte{'L', 'S', 'P', 'T'}
+
+const nativeVersion = 1
+
+// Writer writes the native trace format.
+type Writer struct {
+	w    *bufio.Writer
+	meta Meta
+	n    int
+}
+
+// NewWriter writes a native-format header for meta to w and returns a
+// Writer for appending records. Call Flush when done.
+func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
+	if meta.SnapLen <= 0 {
+		meta.SnapLen = DefaultSnapLen
+	}
+	if meta.SnapLen > 0xffff {
+		return nil, fmt.Errorf("trace: snaplen %d too large", meta.SnapLen)
+	}
+	if len(meta.Link) > 0xffff {
+		return nil, fmt.Errorf("trace: link name too long")
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(nativeMagic[:]); err != nil {
+		return nil, err
+	}
+	var hdr [14]byte
+	binary.BigEndian.PutUint16(hdr[0:2], nativeVersion)
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(meta.SnapLen))
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(meta.Start.UnixNano()))
+	binary.BigEndian.PutUint16(hdr[12:14], uint16(len(meta.Link)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(meta.Link); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, meta: meta}, nil
+}
+
+// Write implements Sink.
+func (w *Writer) Write(r Record) error {
+	if len(r.Data) > w.meta.SnapLen {
+		return fmt.Errorf("trace: record caplen %d exceeds snaplen %d", len(r.Data), w.meta.SnapLen)
+	}
+	if r.WireLen > 0xffff || r.WireLen < len(r.Data) {
+		return fmt.Errorf("trace: bad wirelen %d for caplen %d", r.WireLen, len(r.Data))
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(r.Time))
+	binary.BigEndian.PutUint16(hdr[8:10], uint16(r.WireLen))
+	binary.BigEndian.PutUint16(hdr[10:12], uint16(len(r.Data)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(r.Data); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader reads the native trace format.
+type Reader struct {
+	r    *bufio.Reader
+	meta Meta
+}
+
+// NewReader parses the native-format header from r and returns a
+// Reader positioned at the first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != nativeMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var hdr [14]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	version := binary.BigEndian.Uint16(hdr[0:2])
+	if version != nativeVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	meta := Meta{
+		SnapLen: int(binary.BigEndian.Uint16(hdr[2:4])),
+		Start:   time.Unix(0, int64(binary.BigEndian.Uint64(hdr[4:12]))),
+	}
+	linkLen := int(binary.BigEndian.Uint16(hdr[12:14]))
+	link := make([]byte, linkLen)
+	if _, err := io.ReadFull(br, link); err != nil {
+		return nil, fmt.Errorf("trace: reading link name: %w", err)
+	}
+	meta.Link = string(link)
+	return &Reader{r: br, meta: meta}, nil
+}
+
+// Meta implements Source.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// Next implements Source.
+func (r *Reader) Next() (Record, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: reading record header: %w", err)
+	}
+	rec := Record{
+		Time:    time.Duration(binary.BigEndian.Uint64(hdr[0:8])),
+		WireLen: int(binary.BigEndian.Uint16(hdr[8:10])),
+	}
+	capLen := int(binary.BigEndian.Uint16(hdr[10:12]))
+	if capLen > r.meta.SnapLen {
+		return Record{}, fmt.Errorf("trace: record caplen %d exceeds snaplen %d", capLen, r.meta.SnapLen)
+	}
+	rec.Data = make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, rec.Data); err != nil {
+		return Record{}, fmt.Errorf("trace: reading record data: %w", err)
+	}
+	return rec, nil
+}

@@ -1,0 +1,120 @@
+// Package trace defines the packet-trace record model used throughout
+// loopscope and implements two on-disk formats: a compact native
+// format and the classic libpcap format (LINKTYPE_RAW, so records are
+// bare IPv4 packets, matching the IP-header-only traces in the paper).
+//
+// A trace is a time-ordered sequence of Records captured on a single
+// unidirectional link. Like the Sprint traces the paper analyses,
+// records carry only the first SnapLen bytes of each packet (40 by
+// default: the IPv4 header plus the transport header).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// DefaultSnapLen is the per-packet snapshot length used by the paper's
+// capture infrastructure: 20 bytes of IP header + 20 bytes of
+// transport header.
+const DefaultSnapLen = 40
+
+// Record is one captured packet.
+type Record struct {
+	// Time is the capture timestamp as an offset from the trace
+	// start.
+	Time time.Duration
+	// WireLen is the original packet length on the wire.
+	WireLen int
+	// Data holds the captured snapshot (at most the trace's SnapLen
+	// bytes, never more than WireLen).
+	Data []byte
+}
+
+// Meta describes a trace.
+type Meta struct {
+	// Link names the monitored link, e.g. "backbone1".
+	Link string
+	// Start is the absolute capture start time.
+	Start time.Time
+	// SnapLen is the per-packet snapshot limit in bytes.
+	SnapLen int
+}
+
+// Source yields trace records in capture order. Next returns io.EOF
+// after the last record.
+type Source interface {
+	Meta() Meta
+	Next() (Record, error)
+}
+
+// Sink consumes trace records in capture order.
+type Sink interface {
+	Write(Record) error
+}
+
+// SliceSource adapts an in-memory record slice to Source. It is the
+// workhorse for tests and for pipelines that keep the whole trace in
+// memory.
+type SliceSource struct {
+	meta Meta
+	recs []Record
+	pos  int
+}
+
+// NewSliceSource returns a Source over recs with the given metadata.
+func NewSliceSource(meta Meta, recs []Record) *SliceSource {
+	if meta.SnapLen == 0 {
+		meta.SnapLen = DefaultSnapLen
+	}
+	return &SliceSource{meta: meta, recs: recs}
+}
+
+// Meta implements Source.
+func (s *SliceSource) Meta() Meta { return s.meta }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Record, error) {
+	if s.pos >= len(s.recs) {
+		return Record{}, io.EOF
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Reset rewinds the source to the first record.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// ReadAll drains a Source into memory.
+func ReadAll(src Source) ([]Record, error) {
+	var recs []Record
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, r)
+	}
+}
+
+// Validate checks structural invariants of a record sequence:
+// non-decreasing timestamps and caplen <= wirelen. It returns the
+// first violation found.
+func Validate(recs []Record) error {
+	var last time.Duration
+	for i, r := range recs {
+		if r.Time < last {
+			return fmt.Errorf("trace: record %d goes back in time (%v < %v)", i, r.Time, last)
+		}
+		last = r.Time
+		if len(r.Data) > r.WireLen {
+			return fmt.Errorf("trace: record %d caplen %d exceeds wirelen %d", i, len(r.Data), r.WireLen)
+		}
+	}
+	return nil
+}
