@@ -17,6 +17,8 @@
 //	loopdetect -json backbone1.lspt        # machine-readable output
 //	loopdetect -format erf capture.erf     # DAG PoS records
 //	loopdetect -extract 0 backbone1.lspt   # loop 0's evidence as a pcap
+//	loopdetect -salvage damaged.pcap       # skip corrupt regions, keep going
+//	loopdetect -validate capture.lspt      # reject structurally invalid traces
 package main
 
 import (
@@ -50,6 +52,9 @@ func main() {
 		report      = flag.Bool("report", false, "print the full per-trace report: every figure's series for this trace")
 		extract     = flag.Int("extract", -1, "write loop N's evidence records (replicas + same-prefix context) as a pcap to -extract-out")
 		extractOut  = flag.String("extract-out", "loop.pcap", "output file for -extract")
+		salvage     = flag.Bool("salvage", false, "fault-tolerant ingestion: skip corrupt regions and resync on the next plausible record instead of aborting")
+		maxDecode   = flag.Int("max-decode-errors", -1, "with -salvage, fail once this many corrupt regions have been skipped (<= 0: unlimited)")
+		validate    = flag.Bool("validate", false, "check structural trace invariants (monotonic timestamps, caplen <= wirelen) after ingest and fail on violation")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -58,6 +63,9 @@ func main() {
 		os.Exit(2)
 	}
 	traceFormat = *format
+	salvageMode = *salvage
+	maxDecodeErrors = *maxDecode
+	validateMode = *validate
 	cfg := core.Config{
 		MinReplicas:    *minReplicas,
 		MinTTLDelta:    *minDelta,
@@ -103,18 +111,20 @@ func main() {
 
 // runReport prints the paper's full figure set for one trace.
 func runReport(path string, cfg core.Config) error {
-	src, f, err := openTrace(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	recs, err := readAll(src)
+	recs, meta, dstats, err := loadRecords(path)
 	if err != nil {
 		return err
 	}
 	res := core.DetectRecords(recs, cfg)
-	rep := analysis.Analyze(src.Meta(), recs, res)
+	rep := analysis.Analyze(meta, recs, res)
 	reps := []*analysis.Report{rep}
+
+	if dstats != nil {
+		fmt.Print(renderDecodeStats(*dstats))
+		fmt.Println()
+	} else if gaps, lost := captureLoss(recs); gaps > 0 {
+		fmt.Printf("capture loss: %d gaps, %d packets reported lost by the capture card\n\n", gaps, lost)
+	}
 
 	fmt.Print(analysis.RenderTableI(reps))
 	fmt.Println()
@@ -154,12 +164,7 @@ func runReport(path string, cfg core.Config) error {
 // runExtract writes one loop's evidence as a standalone pcap — the
 // artifact to hand to a neighboring NOC.
 func runExtract(path string, cfg core.Config, n int, outPath string) error {
-	src, f, err := openTrace(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	recs, err := readAll(src)
+	recs, meta, _, err := loadRecords(path)
 	if err != nil {
 		return err
 	}
@@ -175,7 +180,7 @@ func runExtract(path string, cfg core.Config, n int, outPath string) error {
 		return err
 	}
 	defer out.Close()
-	w, err := trace.NewPcapWriter(out, src.Meta())
+	w, err := trace.NewPcapWriter(out, meta)
 	if err != nil {
 		return err
 	}
@@ -215,42 +220,68 @@ type jsonLoop struct {
 	Replicas int    `json:"replicas"`
 }
 
+// jsonDecodeStats mirrors trace.DecodeStats for the -json output;
+// present only when -salvage is active.
+type jsonDecodeStats struct {
+	Records       int   `json:"records"`
+	Salvaged      int   `json:"salvaged"`
+	Errors        int   `json:"errors"`
+	Resyncs       int   `json:"resyncs"`
+	BytesSkipped  int64 `json:"bytesSkipped"`
+	TruncatedTail bool  `json:"truncatedTail"`
+	LossEvents    int   `json:"lossEvents"`
+	LostRecords   int   `json:"lostRecords"`
+}
+
 type jsonResult struct {
-	Link              string       `json:"link"`
-	Packets           int          `json:"packets"`
-	DurationNs        int64        `json:"durationNs"`
-	AvgBandwidthMbps  float64      `json:"avgBandwidthMbps"`
-	LoopedPackets     int          `json:"loopedPackets"`
-	PairsDiscarded    int          `json:"pairsDiscarded"`
-	SubnetInvalidated int          `json:"subnetInvalidated"`
-	Streams           []jsonStream `json:"streams"`
-	Loops             []jsonLoop   `json:"loops"`
+	Link               string           `json:"link"`
+	Packets            int              `json:"packets"`
+	DurationNs         int64            `json:"durationNs"`
+	AvgBandwidthMbps   float64          `json:"avgBandwidthMbps"`
+	LoopedPackets      int              `json:"loopedPackets"`
+	PairsDiscarded     int              `json:"pairsDiscarded"`
+	SubnetInvalidated  int              `json:"subnetInvalidated"`
+	CaptureLossGaps    int              `json:"captureLossGaps"`
+	CaptureLossPackets int              `json:"captureLossPackets"`
+	DecodeStats        *jsonDecodeStats `json:"decodeStats,omitempty"`
+	Streams            []jsonStream     `json:"streams"`
+	Loops              []jsonLoop       `json:"loops"`
 }
 
 // runJSON emits the whole analysis as one JSON document on stdout.
 func runJSON(path string, cfg core.Config) error {
-	src, f, err := openTrace(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	recs, err := readAll(src)
+	recs, meta, dstats, err := loadRecords(path)
 	if err != nil {
 		return err
 	}
 	res := core.DetectRecords(recs, cfg)
-	rep := analysis.Analyze(src.Meta(), recs, res)
+	rep := analysis.Analyze(meta, recs, res)
 
+	gaps, lost := captureLoss(recs)
 	out := jsonResult{
-		Link:              src.Meta().Link,
-		Packets:           rep.TotalPackets,
-		DurationNs:        int64(rep.Duration),
-		AvgBandwidthMbps:  rep.AvgBandwidthMbps,
-		LoopedPackets:     rep.LoopedPackets,
-		PairsDiscarded:    res.PairsDiscarded,
-		SubnetInvalidated: res.SubnetInvalidated,
-		Streams:           []jsonStream{},
-		Loops:             []jsonLoop{},
+		Link:               meta.Link,
+		Packets:            rep.TotalPackets,
+		DurationNs:         int64(rep.Duration),
+		AvgBandwidthMbps:   rep.AvgBandwidthMbps,
+		LoopedPackets:      rep.LoopedPackets,
+		PairsDiscarded:     res.PairsDiscarded,
+		SubnetInvalidated:  res.SubnetInvalidated,
+		CaptureLossGaps:    gaps,
+		CaptureLossPackets: lost,
+		Streams:            []jsonStream{},
+		Loops:              []jsonLoop{},
+	}
+	if dstats != nil {
+		out.DecodeStats = &jsonDecodeStats{
+			Records:       dstats.Records,
+			Salvaged:      dstats.Salvaged,
+			Errors:        dstats.Errors,
+			Resyncs:       dstats.Resyncs,
+			BytesSkipped:  dstats.BytesSkipped,
+			TruncatedTail: dstats.TruncatedTail,
+			LossEvents:    dstats.LossEvents,
+			LostRecords:   dstats.LostRecords,
+		}
 	}
 	for _, s := range res.Streams {
 		out.Streams = append(out.Streams, jsonStream{
@@ -292,13 +323,28 @@ func runStreaming(path string, cfg core.Config) error {
 			loops, l.Prefix, l.Start.Round(time.Millisecond), l.End.Round(time.Millisecond),
 			l.Duration().Round(time.Millisecond), len(l.Streams), l.Replicas())
 	})
+	observed, lossGaps, lostPackets := 0, 0, 0
 	for {
 		rec, err := src.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) && observed > 0 {
+				fmt.Fprintf(os.Stderr,
+					"loopdetect: warning: trace truncated mid-record after %d records; analyzing the partial trace\n",
+					observed)
+				break
+			}
+			if ds := decodeStatsOf(src); ds != nil {
+				fmt.Fprint(os.Stderr, renderDecodeStats(*ds))
+			}
 			return err
+		}
+		observed++
+		if rec.Lost > 0 {
+			lossGaps++
+			lostPackets += rec.Lost
 		}
 		sd.Observe(rec)
 	}
@@ -306,11 +352,24 @@ func runStreaming(path string, cfg core.Config) error {
 	fmt.Printf("\n%d packets, %d looped in %d streams, %d loops (pairs discarded %d, subnet-invalidated %d)\n",
 		stats.TotalPackets, stats.LoopedPackets, stats.Streams, loops,
 		stats.PairsDiscarded, stats.SubnetInvalidated)
+	if ds := decodeStatsOf(src); ds != nil {
+		fmt.Print(renderDecodeStats(*ds))
+	} else if lossGaps > 0 {
+		fmt.Printf("capture loss:    %d gaps, %d packets reported lost by the capture card\n", lossGaps, lostPackets)
+	}
 	return nil
 }
 
 // traceFormat is the -format flag value ("auto" or "erf").
 var traceFormat = "auto"
+
+// salvageMode, maxDecodeErrors and validateMode mirror the -salvage,
+// -max-decode-errors and -validate flags.
+var (
+	salvageMode     = false
+	maxDecodeErrors = -1
+	validateMode    = false
+)
 
 // openTrace sniffs the file format from its magic bytes, transparently
 // unwrapping gzip (so multi-gigabyte captures can stay compressed on
@@ -354,6 +413,21 @@ func openTrace(path string) (trace.Source, *os.File, error) {
 		}
 		r = gz
 	}
+	if salvageMode {
+		format := trace.FormatAuto
+		if traceFormat == "erf" {
+			format = trace.FormatERF
+		}
+		src, err := trace.NewSalvageReader(r, trace.SalvageOptions{
+			Format:    format,
+			MaxErrors: maxDecodeErrors,
+		})
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return src, f, nil
+	}
 	if traceFormat == "erf" {
 		src, err := trace.NewERFReader(r)
 		if err != nil {
@@ -379,21 +453,20 @@ func openTrace(path string) (trace.Source, *os.File, error) {
 }
 
 func run(path string, cfg core.Config, showStreams, showLoops bool) error {
-	src, f, err := openTrace(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
-	recs, err := readAll(src)
+	recs, meta, dstats, err := loadRecords(path)
 	if err != nil {
 		return err
 	}
 	res := core.DetectRecords(recs, cfg)
-	rep := analysis.Analyze(src.Meta(), recs, res)
+	rep := analysis.Analyze(meta, recs, res)
 
 	fmt.Printf("trace %s: %d packets over %v (%.1f Mbps avg)\n",
-		src.Meta().Link, rep.TotalPackets, rep.Duration.Round(time.Second), rep.AvgBandwidthMbps)
+		meta.Link, rep.TotalPackets, rep.Duration.Round(time.Second), rep.AvgBandwidthMbps)
+	if dstats != nil {
+		fmt.Print(renderDecodeStats(*dstats))
+	} else if gaps, lost := captureLoss(recs); gaps > 0 {
+		fmt.Printf("capture loss:    %d gaps, %d packets reported lost by the capture card\n", gaps, lost)
+	}
 	fmt.Printf("replica streams: %d (pairs discarded %d, subnet-invalidated %d)\n",
 		rep.ReplicaStreams, res.PairsDiscarded, res.SubnetInvalidated)
 	fmt.Printf("routing loops:   %d\n", rep.RoutingLoops)
@@ -426,6 +499,8 @@ func run(path string, cfg core.Config, showStreams, showLoops bool) error {
 	return nil
 }
 
+// readAll drains a source, returning whatever was read before any
+// error alongside the error itself.
 func readAll(src trace.Source) ([]trace.Record, error) {
 	var recs []trace.Record
 	for {
@@ -434,8 +509,82 @@ func readAll(src trace.Source) ([]trace.Record, error) {
 			return recs, nil
 		}
 		if err != nil {
-			return nil, err
+			return recs, err
 		}
 		recs = append(recs, r)
 	}
+}
+
+// loadRecords opens a trace and reads it into memory, applying the
+// ingestion policy flags: in salvage mode corrupt regions are skipped
+// (with decode statistics returned), a trace that ends mid-record is
+// analyzed up to the truncation point with a warning rather than
+// thrown away, and -validate checks structural invariants. On an
+// error-budget failure the partial statistics are printed to stderr
+// before the error is returned, so the operator sees how bad the
+// damage was.
+func loadRecords(path string) ([]trace.Record, trace.Meta, *trace.DecodeStats, error) {
+	src, f, err := openTrace(path)
+	if err != nil {
+		return nil, trace.Meta{}, nil, err
+	}
+	defer f.Close()
+	recs, err := readAll(src)
+	stats := decodeStatsOf(src)
+	if err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) && len(recs) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"loopdetect: warning: trace truncated mid-record after %d records; analyzing the partial trace\n",
+				len(recs))
+		} else {
+			if stats != nil {
+				fmt.Fprint(os.Stderr, renderDecodeStats(*stats))
+			}
+			return nil, trace.Meta{}, stats, err
+		}
+	}
+	if validateMode {
+		if verr := trace.Validate(recs); verr != nil {
+			return nil, trace.Meta{}, stats, fmt.Errorf("validation failed: %w", verr)
+		}
+	}
+	return recs, src.Meta(), stats, nil
+}
+
+// decodeStatsOf extracts salvage statistics when src is a
+// SalvageReader, nil otherwise.
+func decodeStatsOf(src trace.Source) *trace.DecodeStats {
+	if sr, ok := src.(*trace.SalvageReader); ok {
+		s := sr.Stats()
+		return &s
+	}
+	return nil
+}
+
+// renderDecodeStats formats the salvage decode-stats section.
+func renderDecodeStats(s trace.DecodeStats) string {
+	tail := "intact"
+	if s.TruncatedTail {
+		tail = "truncated"
+	}
+	out := fmt.Sprintf("decode stats:    %d records (%d salvaged), %d corrupt regions, %d resyncs, %d bytes skipped, tail %s\n",
+		s.Records, s.Salvaged, s.Errors, s.Resyncs, s.BytesSkipped, tail)
+	if s.LossEvents > 0 {
+		out += fmt.Sprintf("capture loss:    %d gaps, %d packets reported lost by the capture card\n",
+			s.LossEvents, s.LostRecords)
+	}
+	return out
+}
+
+// captureLoss sums the per-record capture-loss counters (the ERF
+// lctr): gaps is the number of records preceded by a drop gap, lost
+// the total packets the capture card reported dropping.
+func captureLoss(recs []trace.Record) (gaps, lost int) {
+	for _, r := range recs {
+		if r.Lost > 0 {
+			gaps++
+			lost += r.Lost
+		}
+	}
+	return gaps, lost
 }

@@ -10,10 +10,14 @@ import (
 	"loopscope/internal/trace"
 )
 
+func gen(d time.Duration, pps float64, loops, prefixes int, seed uint64, pcap, gz bool) genConfig {
+	return genConfig{duration: d, pps: pps, loops: loops, prefixes: prefixes, seed: seed, pcap: pcap, gz: gz}
+}
+
 func TestRunWritesDetectableTrace(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.lspt")
-	if err := run(path, 20*time.Second, 3000, 5, 64, 7, false, false); err != nil {
+	if err := run(path, gen(20*time.Second, 3000, 5, 64, 7, false, false)); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(path)
@@ -44,7 +48,7 @@ func TestRunWritesDetectableTrace(t *testing.T) {
 func TestRunPcapOutput(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.pcap")
-	if err := run(path, 5*time.Second, 1000, 2, 32, 3, true, false); err != nil {
+	if err := run(path, gen(5*time.Second, 1000, 2, 32, 3, true, false)); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(path)
@@ -68,7 +72,7 @@ func TestRunPcapOutput(t *testing.T) {
 func TestRunGzipOutput(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.lspt.gz")
-	if err := run(path, 3*time.Second, 1000, 1, 16, 2, false, true); err != nil {
+	if err := run(path, gen(3*time.Second, 1000, 1, 16, 2, false, true)); err != nil {
 		t.Fatal(err)
 	}
 	// The gzip magic must be present.
@@ -83,5 +87,84 @@ func TestRunGzipOutput(t *testing.T) {
 	}
 	if b[0] != 0x1f || b[1] != 0x8b {
 		t.Errorf("not gzip: % x", b)
+	}
+}
+
+func TestRunByteChaosNeedsSalvage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "damaged.lspt")
+	cfg := gen(5*time.Second, 1000, 2, 32, 3, false, false)
+	cfg.byteFaults.Seed = 9
+	cfg.byteFaults.GarbageBursts = 10
+	cfg.byteFaults.BurstLen = 80
+	cfg.byteFaults.TruncateTail = 7
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// The strict reader must fail somewhere in the damaged file...
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(f)
+	if err == nil {
+		_, err = trace.ReadAll(r)
+	}
+	f.Close()
+	if err == nil {
+		t.Fatal("strict reader read a chaos-damaged trace cleanly")
+	}
+
+	// ...while the salvage reader recovers the bulk of it.
+	f, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sr, err := trace.NewSalvageReader(f, trace.SalvageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := sr.Stats()
+	if stats.Resyncs == 0 || !stats.TruncatedTail {
+		t.Errorf("expected resyncs and a truncated tail, got %+v", stats)
+	}
+	if len(recs) < 4000 {
+		t.Errorf("salvaged only %d records", len(recs))
+	}
+}
+
+func TestRunRecordChaosStaysReadable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lossy.lspt")
+	cfg := gen(5*time.Second, 1000, 2, 32, 3, false, false)
+	cfg.recordFaults.Seed = 4
+	cfg.recordFaults.Drop = 0.05
+	cfg.recordFaults.Dup = 0.01
+	if err := run(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Record-level faults degrade content, not structure: the strict
+	// reader must still read the whole file.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3000 {
+		t.Fatalf("only %d records", len(recs))
 	}
 }

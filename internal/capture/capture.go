@@ -40,11 +40,12 @@ type Options struct {
 // LinkTap records packets crossing one unidirectional link into
 // memory.
 type LinkTap struct {
-	meta trace.Meta
-	recs []trace.Record
-	errs int
-	sink trace.Sink
-	dups int
+	meta    trace.Meta
+	recs    []trace.Record
+	errs    int
+	sink    trace.Sink
+	sinkErr error
+	dups    int
 	// wireBytes accumulates the on-the-wire volume seen, for average
 	// bandwidth reporting (Table I).
 	wireBytes uint64
@@ -128,9 +129,13 @@ func duplicateBytes(data []byte, drop int) []byte {
 
 func (t *LinkTap) emit(rec trace.Record, retain bool) {
 	t.wireBytes += uint64(rec.WireLen)
-	if t.sink != nil {
+	// A failed sink stays failed (a full disk does not un-fill), so
+	// the first error is kept for Err and the sink is not written
+	// again; in-memory retention continues regardless.
+	if t.sink != nil && t.sinkErr == nil {
 		if err := t.sink.Write(rec); err != nil {
 			t.errs++
+			t.sinkErr = fmt.Errorf("capture: sink write on %s: %w", t.meta.Link, err)
 		}
 	}
 	if retain {
@@ -156,6 +161,11 @@ func (t *LinkTap) WireBytes() uint64 { return t.wireBytes }
 // Errors returns the number of capture failures (serialisation or
 // sink errors).
 func (t *LinkTap) Errors() int { return t.errs }
+
+// Err returns the first sink write error, or nil. Once a sink write
+// fails the sink receives no further records, so callers that stream
+// captures to disk must check Err before trusting the output file.
+func (t *LinkTap) Err() error { return t.sinkErr }
 
 // Source returns the retained records as a trace.Source.
 func (t *LinkTap) Source() *trace.SliceSource {

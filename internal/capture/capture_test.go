@@ -2,6 +2,7 @@ package capture_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -112,6 +113,52 @@ func TestTapStreamsToSink(t *testing.T) {
 	}
 	if len(recs) != 100 {
 		t.Errorf("sink received %d records", len(recs))
+	}
+}
+
+// failAfterSink accepts n writes and then fails every one.
+type failAfterSink struct {
+	n      int
+	wrote  int
+	failed int
+}
+
+func (s *failAfterSink) Write(trace.Record) error {
+	if s.wrote >= s.n {
+		s.failed++
+		return errSinkFull
+	}
+	s.wrote++
+	return nil
+}
+
+var errSinkFull = errors.New("sink full")
+
+func TestTapSurfacesSinkError(t *testing.T) {
+	n, a, l := buildLink(t)
+	sink := &failAfterSink{n: 3}
+	tap := capture.NewLinkTap(l, 40, sink, true)
+
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i) * time.Millisecond
+		id := uint16(i + 1)
+		n.Sim.At(at, func() { n.Inject(a, pkt(id, 100)) })
+	}
+	n.Sim.Run(time.Second)
+
+	if err := tap.Err(); !errors.Is(err, errSinkFull) {
+		t.Fatalf("tap.Err() = %v, want errSinkFull", err)
+	}
+	if tap.Errors() == 0 {
+		t.Error("sink failure not counted")
+	}
+	// After the first failure the sink must not be written again...
+	if sink.failed != 1 {
+		t.Errorf("sink saw %d failed writes, want exactly 1", sink.failed)
+	}
+	// ...but in-memory capture continues.
+	if tap.Count() != 10 {
+		t.Errorf("retained %d records, want 10", tap.Count())
 	}
 }
 

@@ -76,7 +76,14 @@ func (w *ERFWriter) Write(r Record) error {
 	hdr[8] = erfTypeHDLCPOS
 	hdr[9] = 0 // flags: varying-length records, interface 0
 	binary.BigEndian.PutUint16(hdr[10:12], uint16(rlen))
-	binary.BigEndian.PutUint16(hdr[12:14], 0) // loss counter
+	lctr := r.Lost
+	if lctr < 0 {
+		lctr = 0
+	}
+	if lctr > math.MaxUint16 {
+		lctr = math.MaxUint16
+	}
+	binary.BigEndian.PutUint16(hdr[12:14], uint16(lctr))
 	binary.BigEndian.PutUint16(hdr[14:16], uint16(r.WireLen+hdlcHeaderLen))
 	if _, err := w.w.Write(hdr[:]); err != nil {
 		return err
@@ -99,11 +106,22 @@ func (w *ERFWriter) Flush() error { return w.w.Flush() }
 
 // ERFReader reads ERF TYPE_HDLC_POS records.
 type ERFReader struct {
-	r       *bufio.Reader
-	meta    Meta
-	started bool
-	start   time.Time
+	r           *bufio.Reader
+	meta        Meta
+	started     bool
+	start       time.Time
+	lossEvents  int
+	lostRecords int
 }
+
+// LossEvents returns the number of records read so far that carried a
+// non-zero loss counter (each marks a gap where the capture card
+// dropped packets).
+func (r *ERFReader) LossEvents() int { return r.lossEvents }
+
+// LostRecords returns the total packets the capture card reported
+// dropped (the sum of all loss counters read so far).
+func (r *ERFReader) LostRecords() int { return r.lostRecords }
 
 // NewERFReader returns a reader over r. ERF has no file header; the
 // first record's timestamp becomes the trace start.
@@ -139,6 +157,7 @@ func (r *ERFReader) Next() (Record, error) {
 		return Record{}, fmt.Errorf("trace: unsupported ERF record type %d", hdr[8])
 	}
 	rlen := int(binary.BigEndian.Uint16(hdr[10:12]))
+	lctr := int(binary.BigEndian.Uint16(hdr[12:14]))
 	wlen := int(binary.BigEndian.Uint16(hdr[14:16]))
 	if rlen < erfHeaderLen+hdlcHeaderLen {
 		return Record{}, fmt.Errorf("trace: ERF rlen %d too small", rlen)
@@ -152,6 +171,11 @@ func (r *ERFReader) Next() (Record, error) {
 		Time:    abs.Sub(r.start),
 		WireLen: wlen - hdlcHeaderLen,
 		Data:    payload[hdlcHeaderLen:],
+		Lost:    lctr,
+	}
+	if lctr > 0 {
+		r.lossEvents++
+		r.lostRecords += lctr
 	}
 	if rec.WireLen < len(rec.Data) {
 		rec.WireLen = len(rec.Data)

@@ -30,6 +30,11 @@ type Record struct {
 	// Data holds the captured snapshot (at most the trace's SnapLen
 	// bytes, never more than WireLen).
 	Data []byte
+	// Lost counts packets the capture hardware dropped immediately
+	// before this record (the ERF per-record loss counter). Only the
+	// ERF format carries it on disk; native and pcap traces read
+	// back with Lost == 0.
+	Lost int
 }
 
 // Meta describes a trace.
