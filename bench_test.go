@@ -382,6 +382,72 @@ func BenchmarkDetectorThroughput(b *testing.B) {
 	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
+var (
+	parallelTraceOnce sync.Once
+	parallelTraceRecs []trace.Record
+)
+
+// parallelBenchTrace synthesizes the multi-million-record workload the
+// parallel sweep measures, once per test binary (synthesis costs more
+// than detection and must stay outside the timed region).
+func parallelBenchTrace() []trace.Record {
+	parallelTraceOnce.Do(func() {
+		rng := stats.NewRNG(21)
+		var dests []routing.Prefix
+		for i := 0; i < 256; i++ {
+			dests = append(dests, routing.NewPrefix(packet.AddrFrom(198, 20, byte(i), 0), 24))
+		}
+		cfg := traffic.SynthConfig{
+			Duration: 100 * time.Second, PacketsPerSecond: 20000,
+			Mix: traffic.DefaultMix(), DestPrefixes: dests,
+			HopsMin: 3, HopsMax: 10,
+		}
+		for i := 0; i < 12; i++ {
+			cfg.Loops = append(cfg.Loops, traffic.LoopSpec{
+				Prefix:   dests[rng.Intn(len(dests))],
+				Start:    time.Duration(rng.Int63n(int64(80 * time.Second))),
+				Duration: time.Duration(200+rng.Intn(3000)) * time.Millisecond,
+				TTLDelta: 2 + rng.Intn(4), Revolution: 3 * time.Millisecond,
+			})
+		}
+		parallelTraceRecs = traffic.Synthesize(cfg, rng)
+	})
+	return parallelTraceRecs
+}
+
+// BenchmarkParallelDetect sweeps the sharded engine's worker count
+// over the same multi-million-record trace; records/s per worker count
+// is the scaling figure (the CI smoke job extracts it into
+// BENCH_parallel.json). workers=1 runs the sequential Detector, so the
+// sweep directly measures pipeline overhead and shard scaling. Note
+// the speedup can only materialize when the host actually has the
+// cores — on a single-core runner every worker count lands within
+// noise of sequential.
+func BenchmarkParallelDetect(b *testing.B) {
+	recs := parallelBenchTrace()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := core.New(core.DefaultConfig(), core.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bo, ok := e.(core.BatchObserver); ok {
+					bo.ObserveBatch(recs)
+				} else {
+					for _, r := range recs {
+						e.Observe(r)
+					}
+				}
+				if res := e.Finish(); res.TotalPackets != len(recs) {
+					b.Fatalf("engine saw %d of %d records", res.TotalPackets, len(recs))
+				}
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
 // BenchmarkNaiveVsIndexed quantifies the hash index against the naive
 // pairwise scan on the same trace (DESIGN.md ablation 5).
 func BenchmarkNaiveVsIndexed(b *testing.B) {

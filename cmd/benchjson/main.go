@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` output for the parallel
+// detection sweep into a machine-readable JSON file, so CI can archive
+// the scaling figure per worker count.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ParallelDetect -benchtime 1x . | benchjson -out BENCH_parallel.json
+//
+// Only BenchmarkParallelDetect/workers=N lines are extracted; anything
+// else on stdin is ignored, so the tool can consume the raw `go test`
+// stream.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// benchLine matches one sub-benchmark result, e.g.
+//
+//	BenchmarkParallelDetect/workers=4-8  1  1593049568 ns/op  1507003 records/s
+var benchLine = regexp.MustCompile(
+	`^BenchmarkParallelDetect/workers=(\d+)\S*\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.e+]+) records/s)?`)
+
+// entry is one row of BENCH_parallel.json.
+type entry struct {
+	Workers       int     `json:"workers"`
+	NsPerOp       float64 `json:"nsPerOp"`
+	RecordsPerSec float64 `json:"recordsPerSec"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "output JSON file")
+	flag.Parse()
+	entries, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no BenchmarkParallelDetect results on stdin")
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, e := range entries {
+		fmt.Printf("workers=%d: %.0f records/s\n", e.Workers, e.RecordsPerSec)
+	}
+}
+
+func parse(r io.Reader) ([]entry, error) {
+	var entries []entry
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		workers, err := strconv.Atoi(m[1])
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		nsPerOp, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		e := entry{Workers: workers, NsPerOp: nsPerOp}
+		if m[3] != "" {
+			if e.RecordsPerSec, err = strconv.ParseFloat(m[3], 64); err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}

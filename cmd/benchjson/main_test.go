@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: loopscope
+BenchmarkParallelDetect/workers=1-8         	       1	1903049568 ns/op	   1107003 records/s
+BenchmarkParallelDetect/workers=2-8         	       1	1003049568 ns/op	   2107003.5 records/s
+BenchmarkParallelDetect/workers=4-8         	       2	 593049568 ns/op	   3407003 records/s
+BenchmarkDetectorThroughput-8               	       1	2593049568 ns/op	   1207003 records/s
+PASS
+`
+	entries, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(entries))
+	}
+	if entries[1].Workers != 2 || entries[1].RecordsPerSec != 2107003.5 {
+		t.Errorf("entry 1 = %+v", entries[1])
+	}
+	if entries[2].NsPerOp != 593049568 {
+		t.Errorf("entry 2 nsPerOp = %v", entries[2].NsPerOp)
+	}
+}
+
+func TestParseNoMatches(t *testing.T) {
+	entries, err := parse(strings.NewReader("PASS\nok loopscope 1.2s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("parsed %d entries from non-bench output", len(entries))
+	}
+}

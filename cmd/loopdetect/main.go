@@ -14,6 +14,7 @@
 //	loopdetect -streams capture.pcap.gz    # every replica stream (gzip ok)
 //	loopdetect -report backbone1.lspt      # full figure set for the trace
 //	loopdetect -stream huge.pcap           # bounded-memory, loops as they finalize
+//	loopdetect -workers 8 backbone1.lspt   # 8 parallel detection shards
 //	loopdetect -json backbone1.lspt        # machine-readable output
 //	loopdetect -format erf capture.erf     # DAG PoS records
 //	loopdetect -extract 0 backbone1.lspt   # loop 0's evidence as a pcap
@@ -22,13 +23,13 @@
 package main
 
 import (
-	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"loopscope/internal/analysis"
@@ -55,6 +56,7 @@ func main() {
 		salvage     = flag.Bool("salvage", false, "fault-tolerant ingestion: skip corrupt regions and resync on the next plausible record instead of aborting")
 		maxDecode   = flag.Int("max-decode-errors", -1, "with -salvage, fail once this many corrupt regions have been skipped (<= 0: unlimited)")
 		validate    = flag.Bool("validate", false, "check structural trace invariants (monotonic timestamps, caplen <= wirelen) after ingest and fail on violation")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "detection worker shards (1: sequential; not used by -stream)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -66,6 +68,7 @@ func main() {
 	salvageMode = *salvage
 	maxDecodeErrors = *maxDecode
 	validateMode = *validate
+	workerCount = *workers
 	cfg := core.Config{
 		MinReplicas:    *minReplicas,
 		MinTTLDelta:    *minDelta,
@@ -109,13 +112,65 @@ func main() {
 	}
 }
 
+// traceFormat is the -format flag value ("auto" or "erf").
+var traceFormat = "auto"
+
+// salvageMode, maxDecodeErrors, validateMode and workerCount mirror
+// the -salvage, -max-decode-errors, -validate and -workers flags.
+var (
+	salvageMode     = false
+	maxDecodeErrors = -1
+	validateMode    = false
+	workerCount     = 0
+)
+
+// openTrace is the tool's single trace.Open call site: it translates
+// the ingestion flags into OpenOptions. The returned *DecodeStats is
+// non-nil only in salvage mode and fills in as the source is drained.
+func openTrace(path string) (trace.Source, *trace.DecodeStats, error) {
+	format := trace.FormatAuto
+	if traceFormat == "erf" {
+		format = trace.FormatERF
+	}
+	return trace.Open(path, trace.OpenOptions{
+		Format:          format,
+		Salvage:         salvageMode,
+		MaxDecodeErrors: maxDecodeErrors,
+	})
+}
+
+// newEngine is the tool's single core.New call site.
+func newEngine(cfg core.Config, opts ...core.Option) (core.Engine, error) {
+	return core.New(cfg, opts...)
+}
+
+// detect runs the detection engine selected by -workers over an
+// in-memory trace.
+func detect(recs []trace.Record, cfg core.Config) (*core.Result, error) {
+	e, err := newEngine(cfg, core.WithWorkers(workerCount))
+	if err != nil {
+		return nil, err
+	}
+	if bo, ok := e.(core.BatchObserver); ok {
+		bo.ObserveBatch(recs)
+	} else {
+		for _, r := range recs {
+			e.Observe(r)
+		}
+	}
+	return e.Finish(), nil
+}
+
 // runReport prints the paper's full figure set for one trace.
 func runReport(path string, cfg core.Config) error {
 	recs, meta, dstats, err := loadRecords(path)
 	if err != nil {
 		return err
 	}
-	res := core.DetectRecords(recs, cfg)
+	res, err := detect(recs, cfg)
+	if err != nil {
+		return err
+	}
 	rep := analysis.Analyze(meta, recs, res)
 	reps := []*analysis.Report{rep}
 
@@ -168,7 +223,10 @@ func runExtract(path string, cfg core.Config, n int, outPath string) error {
 	if err != nil {
 		return err
 	}
-	res := core.DetectRecords(recs, cfg)
+	res, err := detect(recs, cfg)
+	if err != nil {
+		return err
+	}
 	if n >= len(res.Loops) {
 		return fmt.Errorf("loop %d does not exist (%d loops detected)", n, len(res.Loops))
 	}
@@ -254,7 +312,10 @@ func runJSON(path string, cfg core.Config) error {
 	if err != nil {
 		return err
 	}
-	res := core.DetectRecords(recs, cfg)
+	res, err := detect(recs, cfg)
+	if err != nil {
+		return err
+	}
 	rep := analysis.Analyze(meta, recs, res)
 
 	gaps, lost := captureLoss(recs)
@@ -310,19 +371,22 @@ func runJSON(path string, cfg core.Config) error {
 // stays proportional to the undecided tail of the trace, so this mode
 // handles captures far larger than RAM.
 func runStreaming(path string, cfg core.Config) error {
-	src, f, err := openTrace(path)
+	src, dstats, err := openTrace(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer trace.CloseSource(src)
 
 	loops := 0
-	sd := core.NewStreamDetector(cfg, func(l *core.Loop) {
+	e, err := newEngine(cfg, core.WithStreaming(func(l *core.Loop) {
 		loops++
 		fmt.Printf("loop %3d: %-18s  %v .. %v  (%v)  %d streams, %d replicas\n",
 			loops, l.Prefix, l.Start.Round(time.Millisecond), l.End.Round(time.Millisecond),
 			l.Duration().Round(time.Millisecond), len(l.Streams), l.Replicas())
-	})
+	}))
+	if err != nil {
+		return err
+	}
 	observed, lossGaps, lostPackets := 0, 0, 0
 	for {
 		rec, err := src.Next()
@@ -336,8 +400,8 @@ func runStreaming(path string, cfg core.Config) error {
 					observed)
 				break
 			}
-			if ds := decodeStatsOf(src); ds != nil {
-				fmt.Fprint(os.Stderr, renderDecodeStats(*ds))
+			if dstats != nil {
+				fmt.Fprint(os.Stderr, renderDecodeStats(*dstats))
 			}
 			return err
 		}
@@ -346,110 +410,18 @@ func runStreaming(path string, cfg core.Config) error {
 			lossGaps++
 			lostPackets += rec.Lost
 		}
-		sd.Observe(rec)
+		e.Observe(rec)
 	}
-	stats := sd.Finish()
+	res := e.Finish()
 	fmt.Printf("\n%d packets, %d looped in %d streams, %d loops (pairs discarded %d, subnet-invalidated %d)\n",
-		stats.TotalPackets, stats.LoopedPackets, stats.Streams, loops,
-		stats.PairsDiscarded, stats.SubnetInvalidated)
-	if ds := decodeStatsOf(src); ds != nil {
-		fmt.Print(renderDecodeStats(*ds))
+		res.TotalPackets, res.LoopedPackets, len(res.Streams), loops,
+		res.PairsDiscarded, res.SubnetInvalidated)
+	if dstats != nil {
+		fmt.Print(renderDecodeStats(*dstats))
 	} else if lossGaps > 0 {
 		fmt.Printf("capture loss:    %d gaps, %d packets reported lost by the capture card\n", lossGaps, lostPackets)
 	}
 	return nil
-}
-
-// traceFormat is the -format flag value ("auto" or "erf").
-var traceFormat = "auto"
-
-// salvageMode, maxDecodeErrors and validateMode mirror the -salvage,
-// -max-decode-errors and -validate flags.
-var (
-	salvageMode     = false
-	maxDecodeErrors = -1
-	validateMode    = false
-)
-
-// openTrace sniffs the file format from its magic bytes, transparently
-// unwrapping gzip (so multi-gigabyte captures can stay compressed on
-// disk). ERF carries no magic, so it is selected explicitly via
-// -format erf.
-func openTrace(path string) (trace.Source, *os.File, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	var magic [4]byte
-	if _, err := io.ReadFull(f, magic[:]); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("reading magic: %w", err)
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	var r io.Reader = f
-	if magic[0] == 0x1f && magic[1] == 0x8b {
-		gz, err := gzip.NewReader(f)
-		if err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("opening gzip stream: %w", err)
-		}
-		if _, err := io.ReadFull(gz, magic[:]); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("reading magic inside gzip: %w", err)
-		}
-		// Re-open the gzip stream from the start; gzip readers do not
-		// seek.
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			f.Close()
-			return nil, nil, err
-		}
-		gz, err = gzip.NewReader(f)
-		if err != nil {
-			f.Close()
-			return nil, nil, err
-		}
-		r = gz
-	}
-	if salvageMode {
-		format := trace.FormatAuto
-		if traceFormat == "erf" {
-			format = trace.FormatERF
-		}
-		src, err := trace.NewSalvageReader(r, trace.SalvageOptions{
-			Format:    format,
-			MaxErrors: maxDecodeErrors,
-		})
-		if err != nil {
-			f.Close()
-			return nil, nil, err
-		}
-		return src, f, nil
-	}
-	if traceFormat == "erf" {
-		src, err := trace.NewERFReader(r)
-		if err != nil {
-			f.Close()
-			return nil, nil, err
-		}
-		return src, f, nil
-	}
-	if magic == [4]byte{'L', 'S', 'P', 'T'} {
-		src, err := trace.NewReader(r)
-		if err != nil {
-			f.Close()
-			return nil, nil, err
-		}
-		return src, f, nil
-	}
-	src, err := trace.NewPcapReader(r)
-	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("not a native or pcap trace (optionally gzipped): %w", err)
-	}
-	return src, f, nil
 }
 
 func run(path string, cfg core.Config, showStreams, showLoops bool) error {
@@ -457,7 +429,10 @@ func run(path string, cfg core.Config, showStreams, showLoops bool) error {
 	if err != nil {
 		return err
 	}
-	res := core.DetectRecords(recs, cfg)
+	res, err := detect(recs, cfg)
+	if err != nil {
+		return err
+	}
 	rep := analysis.Analyze(meta, recs, res)
 
 	fmt.Printf("trace %s: %d packets over %v (%.1f Mbps avg)\n",
@@ -524,13 +499,12 @@ func readAll(src trace.Source) ([]trace.Record, error) {
 // before the error is returned, so the operator sees how bad the
 // damage was.
 func loadRecords(path string) ([]trace.Record, trace.Meta, *trace.DecodeStats, error) {
-	src, f, err := openTrace(path)
+	src, stats, err := openTrace(path)
 	if err != nil {
 		return nil, trace.Meta{}, nil, err
 	}
-	defer f.Close()
+	defer trace.CloseSource(src)
 	recs, err := readAll(src)
-	stats := decodeStatsOf(src)
 	if err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) && len(recs) > 0 {
 			fmt.Fprintf(os.Stderr,
@@ -549,16 +523,6 @@ func loadRecords(path string) ([]trace.Record, trace.Meta, *trace.DecodeStats, e
 		}
 	}
 	return recs, src.Meta(), stats, nil
-}
-
-// decodeStatsOf extracts salvage statistics when src is a
-// SalvageReader, nil otherwise.
-func decodeStatsOf(src trace.Source) *trace.DecodeStats {
-	if sr, ok := src.(*trace.SalvageReader); ok {
-		s := sr.Stats()
-		return &s
-	}
-	return nil
 }
 
 // renderDecodeStats formats the salvage decode-stats section.

@@ -102,11 +102,11 @@ func TestOpenTraceVariants(t *testing.T) {
 			n := writeTestTrace(t, path, c.gz, c.erf)
 			traceFormat = c.format
 			defer func() { traceFormat = "auto" }()
-			src, f, err := openTrace(path)
+			src, _, err := openTrace(path)
 			if err != nil {
 				t.Fatal(err)
 			}
-			defer f.Close()
+			defer trace.CloseSource(src)
 			recs, err := readAll(src)
 			if err != nil {
 				t.Fatal(err)

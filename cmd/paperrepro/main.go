@@ -41,6 +41,26 @@ import (
 	"loopscope/internal/traffic"
 )
 
+// detect runs the unified detection engine over an in-memory trace.
+// paperrepro takes the engine's default variant — parallel sharding
+// when the host has the cores, sequential otherwise; the Result is
+// identical either way. Config errors panic: every config here is a
+// program constant, so one failing is a bug, not an input problem.
+func detect(recs []trace.Record, cfg core.Config) *core.Result {
+	e, err := core.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if bo, ok := e.(core.BatchObserver); ok {
+		bo.ObserveBatch(recs)
+	} else {
+		for _, r := range recs {
+			e.Observe(r)
+		}
+	}
+	return e.Finish()
+}
+
 type backboneRun struct {
 	spec scenario.Spec
 	bb   *scenario.Backbone
@@ -80,7 +100,7 @@ func simulateAll(scale float64) []*backboneRun {
 			bb := scenario.Build(spec)
 			bb.Run()
 			recs := bb.Records()
-			res := core.DetectRecords(recs, core.DefaultConfig())
+			res := detect(recs, core.DefaultConfig())
 			rep := analysis.Analyze(bb.Meta(), recs, res)
 			fmt.Fprintf(os.Stderr, "simulated %s: %d packets, %d streams, %d loops (%v)\n",
 				spec.Name, len(recs), rep.ReplicaStreams, rep.RoutingLoops,
@@ -221,7 +241,7 @@ func run(exp string, scale float64, csvDir string) error {
 			for _, r := range runs {
 				cfg := core.DefaultConfig()
 				cfg.MergeWindow = w
-				res := core.DetectRecords(r.recs, cfg)
+				res := detect(r.recs, cfg)
 				fmt.Printf("  %12d", len(res.Loops))
 			}
 			fmt.Println()
@@ -238,7 +258,7 @@ func run(exp string, scale float64, csvDir string) error {
 			for _, r := range runs {
 				cfg := core.DefaultConfig()
 				cfg.MinReplicas = m
-				res := core.DetectRecords(r.recs, cfg)
+				res := detect(r.recs, cfg)
 				fmt.Printf("  %12d", len(res.Streams))
 			}
 			fmt.Println()
@@ -255,7 +275,7 @@ func run(exp string, scale float64, csvDir string) error {
 			for _, r := range runs {
 				cfg := core.DefaultConfig()
 				cfg.PrefixBits = bits
-				res := core.DetectRecords(r.recs, cfg)
+				res := detect(r.recs, cfg)
 				fmt.Printf("  %12d", len(res.Loops))
 			}
 			fmt.Println()
@@ -324,7 +344,7 @@ func runPersistent(scale float64) {
 	bb := scenario.Build(spec)
 	bb.Run()
 	recs := bb.Records()
-	res := core.DetectRecords(recs, core.DefaultConfig())
+	res := detect(recs, core.DefaultConfig())
 	var end time.Duration
 	if n := len(recs); n > 0 {
 		end = recs[n-1].Time
@@ -379,7 +399,7 @@ func runDVR() {
 		}
 		n.FailLink(bc, 60*time.Second)
 		n.Sim.Run(4 * time.Minute)
-		res := core.DetectRecords(tap.Records(), core.DefaultConfig())
+		res := detect(tap.Records(), core.DefaultConfig())
 		for _, l := range res.Loops {
 			if l.Duration() > longest {
 				longest = l.Duration()
@@ -419,8 +439,8 @@ func runDual(scale float64) {
 	d := scenario.BuildDual(spec)
 	d.Run()
 	m1, m2 := d.Records()
-	resA := core.DetectRecords(m1, core.DefaultConfig())
-	resB := core.DetectRecords(m2, core.DefaultConfig())
+	resA := detect(m1, core.DefaultConfig())
+	resB := detect(m2, core.DefaultConfig())
 	fmt.Printf("upstream tap:   %d packets, %d streams, %d loops\n", len(m1), len(resA.Streams), len(resA.Loops))
 	fmt.Printf("downstream tap: %d packets, %d streams, %d loops\n", len(m2), len(resB.Streams), len(resB.Loops))
 	fmt.Print(analysis.RenderCrossLink(analysis.MatchCrossLink(resA, resB)))
@@ -527,7 +547,7 @@ func runCollateral(scale float64) {
 	}
 	bb := scenario.Build(spec)
 	bb.Run()
-	res := core.DetectRecords(bb.Records(), core.DefaultConfig())
+	res := detect(bb.Records(), core.DefaultConfig())
 	rep := analysis.AnalyzeCollateral(bb.Net, res.Loops, 200*time.Millisecond)
 	fmt.Print(analysis.RenderCollateral(spec.Name, rep))
 }
@@ -590,7 +610,7 @@ func runBaseline(scale float64) {
 
 	bb.Run()
 	recs := bb.Records()
-	res := core.DetectRecords(recs, core.DefaultConfig())
+	res := detect(recs, core.DefaultConfig())
 	gt := bb.Net.GroundTruthWindows(time.Minute)
 
 	fmt.Printf("ground-truth loop windows:          %d\n", len(gt))

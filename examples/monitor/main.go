@@ -58,7 +58,7 @@ func main() {
 		sd.Observe(r)
 	}
 	alarms := ind.Finish()
-	stats := sd.Finish()
+	stats := sd.FinishStats()
 	for _, a := range alarms {
 		timeline = append(timeline, lineEvent{a.Start, fmt.Sprintf(
 			"icmp surge on %-18s from %v (peak %d pkts/window) [indicator]",

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"time"
+
+	"loopscope/internal/packet"
+	"loopscope/internal/routing"
+)
+
+// This file holds the replica-stream building machinery shared by
+// every Engine implementation: the batch Detector, the NaiveDetector
+// reference, and each shard of the ParallelDetector run the same
+// builder life cycle (start on first observation, extend on a valid
+// TTL decrement, flush on staleness or reappearance).
+
+// decodeDst extracts just the destination address from a snapshot.
+func decodeDst(data []byte) (packet.Addr, error) {
+	p, err := packet.DecodeIPv4(data)
+	if err != nil {
+		return packet.Addr{}, err
+	}
+	return p.Dst, nil
+}
+
+// fnv64a hashes b with FNV-1a.
+func fnv64a(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// maskReplica zeroes the fields allowed to differ between replicas —
+// the TTL and the IP header checksum — in a copy of the captured
+// bytes. Everything else (the rest of the IP header, the transport
+// header including its checksum, any captured payload) must match
+// byte-for-byte, which is exactly the paper's replica definition: the
+// transport checksum stands in for payload identity on truncated
+// snapshots.
+func maskReplica(data []byte) []byte {
+	m := make([]byte, len(data))
+	copy(m, data)
+	if len(m) > 8 {
+		m[8] = 0 // TTL
+	}
+	if len(m) > 11 {
+		m[10], m[11] = 0, 0 // IP header checksum
+	}
+	return m
+}
+
+// builder accumulates one replica stream during the scan.
+type builder struct {
+	masked   []byte
+	hash     uint64
+	prefix   routing.Prefix
+	summary  PacketSummary
+	replicas []Replica
+	// done marks a builder already flushed/removed, so stale expiry
+	// queue entries skip it.
+	done bool
+	// extras are record indices of link-layer duplicate observations
+	// (same bytes, TTL decrement below MinTTLDelta): not replicas,
+	// but they belong to this packet for membership purposes.
+	extras []int
+	serial int32 // membership serial, assigned at flush
+	// lastTTL/lastTime track the most recent observation — replica or
+	// duplicate — so a delta-1 chain cannot ratchet itself into a
+	// fake delta-2 stream.
+	lastTTL  uint8
+	lastTime time.Duration
+}
+
+func (b *builder) observe(ttl uint8, at time.Duration) {
+	b.lastTTL = ttl
+	b.lastTime = at
+}
+
+// expiryEntry schedules a staleness check for a builder.
+type expiryEntry struct {
+	b  *builder
+	at time.Duration
+}
+
+func summarize(p *packet.Packet) PacketSummary {
+	s := PacketSummary{
+		Src:       p.IP.Src,
+		Dst:       p.IP.Dst,
+		ID:        p.IP.ID,
+		Protocol:  p.IP.Protocol,
+		SrcPort:   p.SrcPort(),
+		DstPort:   p.DstPort(),
+		WireLen:   int(p.IP.TotalLength),
+		ClassMask: uint16(packet.Classify(p)),
+	}
+	if p.Kind == packet.KindTCP && p.HasTransport {
+		s.TCPFlags = p.TCP.Flags
+	}
+	if p.Kind == packet.KindICMP && p.HasTransport {
+		s.ICMPType = p.ICMP.Type
+	}
+	return s
+}

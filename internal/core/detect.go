@@ -12,75 +12,6 @@ import (
 	"loopscope/internal/trace"
 )
 
-// decodeDst extracts just the destination address from a snapshot.
-func decodeDst(data []byte) (packet.Addr, error) {
-	p, err := packet.DecodeIPv4(data)
-	if err != nil {
-		return packet.Addr{}, err
-	}
-	return p.Dst, nil
-}
-
-// fnv64a hashes b with FNV-1a.
-func fnv64a(b []byte) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime
-	}
-	return h
-}
-
-// maskReplica zeroes the fields allowed to differ between replicas —
-// the TTL and the IP header checksum — in a copy of the captured
-// bytes. Everything else (the rest of the IP header, the transport
-// header including its checksum, any captured payload) must match
-// byte-for-byte, which is exactly the paper's replica definition: the
-// transport checksum stands in for payload identity on truncated
-// snapshots.
-func maskReplica(data []byte) []byte {
-	m := make([]byte, len(data))
-	copy(m, data)
-	if len(m) > 8 {
-		m[8] = 0 // TTL
-	}
-	if len(m) > 11 {
-		m[10], m[11] = 0, 0 // IP header checksum
-	}
-	return m
-}
-
-// builder accumulates one replica stream during the scan.
-type builder struct {
-	masked   []byte
-	hash     uint64
-	prefix   routing.Prefix
-	summary  PacketSummary
-	replicas []Replica
-	// done marks a builder already flushed/removed, so stale expiry
-	// queue entries skip it.
-	done bool
-	// extras are record indices of link-layer duplicate observations
-	// (same bytes, TTL decrement below MinTTLDelta): not replicas,
-	// but they belong to this packet for membership purposes.
-	extras []int
-	serial int32 // membership serial, assigned at flush
-	// lastTTL/lastTime track the most recent observation — replica or
-	// duplicate — so a delta-1 chain cannot ratchet itself into a
-	// fake delta-2 stream.
-	lastTTL  uint8
-	lastTime time.Duration
-}
-
-func (b *builder) observe(ttl uint8, at time.Duration) {
-	b.lastTTL = ttl
-	b.lastTime = at
-}
-
 // Detector runs the three-step algorithm. Create with NewDetector,
 // feed records in capture order with Observe, then call Finish.
 type Detector struct {
@@ -111,25 +42,12 @@ type Detector struct {
 	expiryHead int
 }
 
-// expiryEntry schedules a staleness check for a builder.
-type expiryEntry struct {
-	b  *builder
-	at time.Duration
-}
-
-// NewDetector returns a detector with the given configuration.
+// NewDetector returns a detector with the given configuration. It
+// panics on an invalid configuration; use New for an error-returning
+// constructor.
 func NewDetector(cfg Config) *Detector {
-	if cfg.MinReplicas < 2 {
-		panic("core: MinReplicas must be at least 2")
-	}
-	if cfg.MemberReplicas < 2 || cfg.MemberReplicas > cfg.MinReplicas {
-		panic("core: MemberReplicas must be in [2, MinReplicas]")
-	}
-	if cfg.MinTTLDelta < 1 {
-		panic("core: MinTTLDelta must be at least 1")
-	}
-	if cfg.PrefixBits < 0 || cfg.PrefixBits > 32 {
-		panic("core: PrefixBits out of range")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	return &Detector{
 		cfg:      cfg,
@@ -215,26 +133,6 @@ func (d *Detector) startBuilder(h uint64, masked []byte, pfx routing.Prefix, pkt
 	}
 	d.active[h] = append(d.active[h], b)
 	d.expiry = append(d.expiry, expiryEntry{b: b, at: rep.Time})
-}
-
-func summarize(p *packet.Packet) PacketSummary {
-	s := PacketSummary{
-		Src:       p.IP.Src,
-		Dst:       p.IP.Dst,
-		ID:        p.IP.ID,
-		Protocol:  p.IP.Protocol,
-		SrcPort:   p.SrcPort(),
-		DstPort:   p.DstPort(),
-		WireLen:   int(p.IP.TotalLength),
-		ClassMask: uint16(packet.Classify(p)),
-	}
-	if p.Kind == packet.KindTCP && p.HasTransport {
-		s.TCPFlags = p.TCP.Flags
-	}
-	if p.Kind == packet.KindICMP && p.HasTransport {
-		s.ICMPType = p.ICMP.Type
-	}
-	return s
 }
 
 func (d *Detector) removeActive(b *builder) {
@@ -341,8 +239,16 @@ func (d *Detector) Finish() *Result {
 	}
 	res.PairsDiscarded = d.pairs
 
-	sort.SliceStable(candidates, func(i, j int) bool {
-		return candidates[i].replicas[0].Time < candidates[j].replicas[0].Time
+	// Canonical order: first-replica time, then first-replica index.
+	// The index tie-break makes the order a total one, so every Engine
+	// implementation (sequential, naive, parallel shards) numbers the
+	// same streams identically.
+	sort.Slice(candidates, func(i, j int) bool {
+		a, b := candidates[i].replicas[0], candidates[j].replicas[0]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		return a.Index < b.Index
 	})
 	for i, b := range candidates {
 		s := &ReplicaStream{
@@ -390,7 +296,12 @@ func (d *Detector) merge(streams []*ReplicaStream) []*Loop {
 	}
 	var loops []*Loop
 	for pfx, ss := range byPfx {
-		sort.SliceStable(ss, func(i, j int) bool { return ss[i].Start() < ss[j].Start() })
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].Start() != ss[j].Start() {
+				return ss[i].Start() < ss[j].Start()
+			}
+			return ss[i].Replicas[0].Index < ss[j].Replicas[0].Index
+		})
 		cur := &Loop{Prefix: pfx, Streams: []*ReplicaStream{ss[0]},
 			Start: ss[0].Start(), End: ss[0].End()}
 		for _, s := range ss[1:] {

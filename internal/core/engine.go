@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+
+	"loopscope/internal/trace"
+)
+
+// Engine is the unified detection interface: every detector variant —
+// the batch Detector, the NaiveDetector reference, the bounded-memory
+// StreamDetector and the multi-core ParallelDetector — consumes trace
+// records in capture order through Observe and delivers the analysis
+// through Finish. Callers construct an Engine with New and stop
+// switching on concrete types.
+//
+// Records must arrive in non-decreasing time order. Finish must be
+// called exactly once, after the last Observe; the Engine must not be
+// reused afterwards.
+type Engine interface {
+	Observe(trace.Record)
+	Finish() *Result
+}
+
+// BatchObserver is implemented by engines that ingest records more
+// efficiently in slices (the ParallelDetector hands whole batches to
+// its shard channels). Run feeds batches through this interface when
+// the engine provides it.
+type BatchObserver interface {
+	ObserveBatch([]trace.Record)
+}
+
+// ConfigError is the single error type every invalid Config produces,
+// whichever constructor rejects it.
+type ConfigError struct {
+	// Field names the offending Config field.
+	Field string
+	// Reason states the violated constraint.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: invalid config: %s %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration against the constraints every
+// detector variant shares. It returns a *ConfigError describing the
+// first violation, or nil.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.MinReplicas < 2:
+		return &ConfigError{Field: "MinReplicas", Reason: "must be at least 2"}
+	case cfg.MemberReplicas < 2 || cfg.MemberReplicas > cfg.MinReplicas:
+		return &ConfigError{Field: "MemberReplicas", Reason: "must be in [2, MinReplicas]"}
+	case cfg.MinTTLDelta < 1:
+		return &ConfigError{Field: "MinTTLDelta", Reason: "must be at least 1"}
+	case cfg.PrefixBits < 0 || cfg.PrefixBits > 32:
+		return &ConfigError{Field: "PrefixBits", Reason: "must be in [0, 32]"}
+	case cfg.MaxReplicaGap <= 0:
+		return &ConfigError{Field: "MaxReplicaGap", Reason: "must be positive"}
+	case cfg.MergeWindow < 0:
+		return &ConfigError{Field: "MergeWindow", Reason: "must not be negative"}
+	}
+	return nil
+}
+
+// options collects the functional-option state New folds up.
+type options struct {
+	workers   int
+	streaming bool
+	emit      func(*Loop)
+	naive     bool
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithWorkers selects the multi-core ParallelDetector with n worker
+// shards. n == 0 means runtime.GOMAXPROCS(0); n == 1 degenerates to
+// the sequential Detector (identical output, no pipeline overhead).
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithStreaming selects the bounded-memory StreamDetector; emit (may
+// be nil) receives every loop as soon as it can no longer change.
+func WithStreaming(emit func(*Loop)) Option {
+	return func(o *options) {
+		o.streaming = true
+		o.emit = emit
+	}
+}
+
+// WithNaive selects the quadratic reference implementation (for
+// differential testing and the data-structure ablation).
+func WithNaive() Option {
+	return func(o *options) { o.naive = true }
+}
+
+// New constructs a detection engine. With no options it returns the
+// sequential batch Detector; WithWorkers, WithStreaming and WithNaive
+// select the other variants. The configuration is validated uniformly
+// (every violation surfaces as a *ConfigError); incompatible option
+// combinations are rejected.
+func New(cfg Config, opts ...Option) (Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers < 0 {
+		return nil, fmt.Errorf("core: WithWorkers(%d): worker count must not be negative", o.workers)
+	}
+	if o.streaming && o.naive {
+		return nil, errors.New("core: WithStreaming and WithNaive are mutually exclusive")
+	}
+	if o.workers > 1 && (o.streaming || o.naive) {
+		return nil, errors.New("core: WithWorkers(>1) cannot be combined with WithStreaming or WithNaive")
+	}
+	switch {
+	case o.streaming:
+		return NewStreamDetector(cfg, o.emit), nil
+	case o.naive:
+		return NewNaiveDetector(cfg), nil
+	case o.workers == 1:
+		return NewDetector(cfg), nil
+	case o.workers != 0:
+		return NewParallelDetector(cfg, o.workers), nil
+	}
+	// Default: use every core the runtime gives us; a single-core
+	// box gets the sequential detector rather than a one-shard
+	// pipeline.
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return NewParallelDetector(cfg, n), nil
+	}
+	return NewDetector(cfg), nil
+}
+
+// Run drives an Engine over a Source, reading records in batches (the
+// pipeline's decode/batch stage) and handing them to the engine —
+// whole slices at a time when it implements BatchObserver. It returns
+// the engine's Result after the source is drained.
+func Run(e Engine, src trace.Source) (*Result, error) {
+	b := trace.NewBatcher(src, trace.DefaultBatchSize)
+	bo, batched := e.(BatchObserver)
+	for {
+		recs, err := b.Next()
+		if len(recs) > 0 {
+			if batched {
+				bo.ObserveBatch(recs)
+			} else {
+				for _, r := range recs {
+					e.Observe(r)
+				}
+			}
+		}
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.Finish(), nil
+}

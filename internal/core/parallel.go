@@ -1,0 +1,240 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"loopscope/internal/trace"
+)
+
+// ParallelDetector is the multi-core detection engine. It runs the
+// same three-step algorithm as the sequential Detector but fans the
+// trace out to N worker shards keyed by the destination /PrefixBits
+// prefix, so the whole hot path — header decode, replica matching,
+// stream building, subnet validation, loop merging — runs
+// concurrently.
+//
+// Why sharding by destination prefix is exact, not approximate:
+//
+//   - replica-stream building matches records on byte-equal masked
+//     snapshots; the mask leaves the destination address intact, so
+//     all observations of one looping packet carry the same
+//     destination and land in the same shard;
+//   - step-2 subnet validation and step-3 merging read only records
+//     towards one /PrefixBits prefix, and a prefix is owned by
+//     exactly one shard.
+//
+// Distinct prefixes therefore never interact until the final reduce,
+// which only renumbers and re-sorts: per-shard results are remapped
+// to global record indices, streams are ordered by the canonical
+// (first-replica time, first-replica index) key and renumbered, loops
+// are ordered by (start, prefix) — the same total orders the
+// sequential Finish uses. The Result is identical in loop content to
+// the sequential Detector's regardless of worker count or goroutine
+// scheduling.
+//
+// Ingest is a pipeline: the caller's Observe/ObserveBatch calls are
+// the decode/batch stage (they only read the destination bytes),
+// records travel to shards in slices of DefaultBatchSize over bounded
+// channels (backpressure, not unbounded queueing), and each shard
+// feeds its own sequential Detector.
+type ParallelDetector struct {
+	cfg     Config
+	workers int
+
+	// pending accumulates the next outgoing batch per shard.
+	pending []shardBatch
+	shards  []*shardState
+	wg      sync.WaitGroup
+
+	n          int // records observed (global indices)
+	shortShard int // round-robin shard for undecodable snapshots
+}
+
+// parallelBatchChannelDepth bounds the per-shard channel: with
+// DefaultBatchSize-record batches this caps in-flight memory at
+// workers × (depth+2) × DefaultBatchSize records.
+const parallelBatchChannelDepth = 4
+
+// shardBatch is one hand-off unit: records plus their global indices.
+type shardBatch struct {
+	recs []trace.Record
+	idxs []int32
+}
+
+// shardState is one worker: a channel of batches, the shard's own
+// sequential Detector, and the local-to-global index mapping.
+type shardState struct {
+	ch  chan shardBatch
+	det *Detector
+	// globals[i] is the global index of the shard's i-th record.
+	globals []int32
+	res     *Result
+}
+
+// NewParallelDetector returns a parallel engine with the given number
+// of worker shards (at least 1). Like NewDetector it panics on an
+// invalid configuration; use New for an error-returning constructor.
+func NewParallelDetector(cfg Config, workers int) *ParallelDetector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &ParallelDetector{
+		cfg:     cfg,
+		workers: workers,
+		pending: make([]shardBatch, workers),
+		shards:  make([]*shardState, workers),
+	}
+	for i := range p.shards {
+		s := &shardState{
+			ch:  make(chan shardBatch, parallelBatchChannelDepth),
+			det: NewDetector(cfg),
+		}
+		p.shards[i] = s
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for b := range s.ch {
+				s.globals = append(s.globals, b.idxs...)
+				for _, r := range b.recs {
+					s.det.Observe(r)
+				}
+			}
+			s.res = s.det.Finish()
+		}()
+	}
+	return p
+}
+
+// shardOf routes a record by the masked destination address. The
+// snapshot's destination lives at bytes 16..19 of the IPv4 header
+// (fixed offset, independent of IHL), which is exactly the address
+// packet.Decode reports — so a record that decodes lands in the shard
+// that owns its prefix. Records too short to carry a destination
+// cannot decode anyway (the shard's Detector counts the parse error);
+// they are spread round-robin so a corrupt region cannot overload one
+// shard.
+func (p *ParallelDetector) shardOf(data []byte) int {
+	if len(data) < 20 {
+		p.shortShard++
+		return p.shortShard % p.workers
+	}
+	dst := binary.BigEndian.Uint32(data[16:20])
+	bits := p.cfg.PrefixBits
+	var mask uint32
+	if bits > 0 {
+		mask = ^uint32(0) << (32 - bits)
+	}
+	// Fibonacci multiplicative mix: consecutive /24s must not stripe
+	// into the same shard.
+	h := (dst & mask) * 0x9e3779b1
+	return int((uint64(h) * uint64(p.workers)) >> 32)
+}
+
+// Observe routes the next record to its shard, batching hand-offs.
+// Records must arrive in non-decreasing time order.
+func (p *ParallelDetector) Observe(rec trace.Record) {
+	s := p.shardOf(rec.Data)
+	b := &p.pending[s]
+	if b.recs == nil {
+		b.recs = make([]trace.Record, 0, trace.DefaultBatchSize)
+		b.idxs = make([]int32, 0, trace.DefaultBatchSize)
+	}
+	b.recs = append(b.recs, rec)
+	b.idxs = append(b.idxs, int32(p.n))
+	p.n++
+	if len(b.recs) >= trace.DefaultBatchSize {
+		p.flushShard(s)
+	}
+}
+
+// ObserveBatch routes a whole slice of records (BatchObserver).
+func (p *ParallelDetector) ObserveBatch(recs []trace.Record) {
+	for _, r := range recs {
+		p.Observe(r)
+	}
+}
+
+// flushShard sends the pending batch to the shard's worker. The send
+// blocks when the shard is parallelBatchChannelDepth batches behind —
+// the pipeline's backpressure.
+func (p *ParallelDetector) flushShard(s int) {
+	b := p.pending[s]
+	if len(b.recs) == 0 {
+		return
+	}
+	p.pending[s] = shardBatch{}
+	p.shards[s].ch <- b
+}
+
+// Finish drains the pipeline and reduces the per-shard results into
+// one Result identical to the sequential Detector's.
+func (p *ParallelDetector) Finish() *Result {
+	for s := range p.shards {
+		p.flushShard(s)
+		close(p.shards[s].ch)
+	}
+	p.wg.Wait()
+
+	res := &Result{
+		TotalPackets: p.n,
+		Membership:   make([]int32, p.n),
+	}
+	for i := range res.Membership {
+		res.Membership[i] = -1
+	}
+
+	// Remap every shard-local record index to its global index, then
+	// collect streams and loops.
+	var streams []*ReplicaStream
+	var loops []*Loop
+	for _, s := range p.shards {
+		sr := s.res
+		res.ParseErrors += sr.ParseErrors
+		res.LoopedPackets += sr.LoopedPackets
+		res.PairsDiscarded += sr.PairsDiscarded
+		res.SubnetInvalidated += sr.SubnetInvalidated
+		for _, st := range sr.Streams {
+			for i := range st.Replicas {
+				st.Replicas[i].Index = int(s.globals[st.Replicas[i].Index])
+			}
+		}
+		streams = append(streams, sr.Streams...)
+		loops = append(loops, sr.Loops...)
+	}
+
+	// Renumber streams in the canonical global order (the same key the
+	// sequential Finish sorts by).
+	sort.Slice(streams, func(i, j int) bool {
+		a, b := streams[i].Replicas[0], streams[j].Replicas[0]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		return a.Index < b.Index
+	})
+	for id, st := range streams {
+		st.ID = id
+		for _, r := range st.Replicas {
+			res.Membership[r.Index] = int32(id)
+		}
+	}
+	res.Streams = streams
+
+	// Loops were merged per prefix inside their shard; the global
+	// order is the same (start, prefix) key the sequential merge uses.
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Start != loops[j].Start {
+			return loops[i].Start < loops[j].Start
+		}
+		return loops[i].Prefix.Addr.Uint32() < loops[j].Prefix.Addr.Uint32()
+	})
+	res.Loops = loops
+	return res
+}
+
+// Workers returns the number of worker shards.
+func (p *ParallelDetector) Workers() int { return p.workers }

@@ -36,10 +36,18 @@ import (
 //
 //	sd := core.NewStreamDetector(cfg, func(l *core.Loop) { ... })
 //	for each record { sd.Observe(rec) }
-//	stats := sd.Finish()
+//	stats := sd.FinishStats()
+//
+// StreamDetector implements Engine: Finish returns the run as a
+// *Result (see its doc for what a streaming Result carries).
 type StreamDetector struct {
 	cfg  Config
 	emit func(*Loop)
+	// emitted retains every emitted loop for the Engine-shaped
+	// Finish. Loops are few (streams collapse into them), so this
+	// does not threaten the bounded-memory property, which is about
+	// per-packet state.
+	emitted []*Loop
 
 	active   map[uint64][]*sbuilder
 	byPrefix map[routing.Prefix]*prefixState
@@ -105,17 +113,22 @@ type prefixState struct {
 // finalized loop, in order of finalization (per prefix this is start
 // order; across prefixes it follows the trace clock).
 func NewStreamDetector(cfg Config, emit func(*Loop)) *StreamDetector {
-	// Reuse the batch validation of parameters.
-	NewDetector(cfg)
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	if emit == nil {
 		emit = func(*Loop) {}
 	}
-	return &StreamDetector{
+	d := &StreamDetector{
 		cfg:      cfg,
-		emit:     emit,
 		active:   make(map[uint64][]*sbuilder),
 		byPrefix: make(map[routing.Prefix]*prefixState),
 	}
+	d.emit = func(l *Loop) {
+		d.emitted = append(d.emitted, l)
+		emit(l)
+	}
+	return d
 }
 
 func (d *StreamDetector) state(p routing.Prefix) *prefixState {
@@ -420,9 +433,43 @@ type StreamStats struct {
 	PeakPrefixEntries int
 }
 
-// Finish flushes all remaining state, emitting every outstanding loop,
-// and returns the run statistics.
-func (d *StreamDetector) Finish() StreamStats {
+// Finish implements Engine: it flushes all remaining state (emitting
+// every outstanding loop) and returns the run as a *Result. A
+// streaming Result carries the loops in emission order re-sorted by
+// (start, prefix), the validated streams sorted by start, and the
+// run's counters; Membership is nil — the per-record index is exactly
+// the state the bounded-memory detector evicts.
+func (d *StreamDetector) Finish() *Result {
+	stats := d.FinishStats()
+	res := &Result{
+		TotalPackets:      stats.TotalPackets,
+		LoopedPackets:     stats.LoopedPackets,
+		ParseErrors:       stats.ParseErrors,
+		PairsDiscarded:    stats.PairsDiscarded,
+		SubnetInvalidated: stats.SubnetInvalidated,
+		Loops:             d.emitted,
+	}
+	sort.Slice(res.Loops, func(i, j int) bool {
+		if res.Loops[i].Start != res.Loops[j].Start {
+			return res.Loops[i].Start < res.Loops[j].Start
+		}
+		return res.Loops[i].Prefix.Addr.Uint32() < res.Loops[j].Prefix.Addr.Uint32()
+	})
+	for _, l := range res.Loops {
+		res.Streams = append(res.Streams, l.Streams...)
+	}
+	sort.Slice(res.Streams, func(i, j int) bool {
+		if res.Streams[i].Start() != res.Streams[j].Start() {
+			return res.Streams[i].Start() < res.Streams[j].Start()
+		}
+		return res.Streams[i].ID < res.Streams[j].ID
+	})
+	return res
+}
+
+// FinishStats flushes all remaining state, emitting every outstanding
+// loop, and returns the run statistics.
+func (d *StreamDetector) FinishStats() StreamStats {
 	for _, lst := range d.active {
 		for _, b := range lst {
 			d.flushStream(b)

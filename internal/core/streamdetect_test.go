@@ -20,7 +20,7 @@ func collectStreaming(recs []trace.Record, cfg Config) ([]*Loop, StreamStats) {
 	for _, r := range recs {
 		sd.Observe(r)
 	}
-	stats := sd.Finish()
+	stats := sd.FinishStats()
 	return loops, stats
 }
 
@@ -163,7 +163,7 @@ func TestStreamingBoundedMemory(t *testing.T) {
 		p := mkPkt("192.0.2.1", "198.51.100.9", uint16(i%60000+1), 60, uint64(i))
 		sd.Observe(rec(t, time.Duration(i)*50*time.Millisecond, p))
 	}
-	stats := sd.Finish()
+	stats := sd.FinishStats()
 	if stats.TotalPackets != n {
 		t.Fatalf("packets = %d", stats.TotalPackets)
 	}
@@ -214,7 +214,7 @@ func TestStreamingScale(t *testing.T) {
 		n++
 		sd.Observe(r)
 	})
-	stats := sd.Finish()
+	stats := sd.FinishStats()
 	if n < 4_000_000 {
 		t.Fatalf("only %d records", n)
 	}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// OpenOptions configures Open. The zero value sniffs the format and
+// reads strictly (no salvage).
+type OpenOptions struct {
+	// Format forces an on-disk format. FormatAuto sniffs native and
+	// pcap magics; ERF records carry no magic, so ERF must be selected
+	// explicitly (except under Salvage, whose auto-detection also
+	// recognises plausible ERF headers).
+	Format Format
+	// Salvage routes ingestion through SalvageReader: corrupt regions
+	// are skipped and decoding resynchronises on the next plausible
+	// record instead of aborting.
+	Salvage bool
+	// MaxDecodeErrors is the salvage error budget (<= 0: unlimited).
+	MaxDecodeErrors int
+}
+
+// Open opens a trace file for reading, concentrating the open/sniff/
+// salvage policy that every tool shares: the file may be gzipped
+// (sniffed and unwrapped transparently), the format is sniffed from
+// the magic bytes unless forced, and with opts.Salvage the reader
+// tolerates damaged regions.
+//
+// The returned Source owns the file handle; close it with CloseSource
+// (or a direct io.Closer assertion) when done. The *DecodeStats is
+// non-nil only under Salvage; it is a live view that fills in as the
+// source is consumed, so read it after draining.
+func Open(path string, opts OpenOptions) (Source, *DecodeStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	src, stats, err := openReader(f, opts)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &fileSource{Source: src, f: f}, stats, nil
+}
+
+// openReader builds the record source on top of an opened file.
+func openReader(f *os.File, opts OpenOptions) (Source, *DecodeStats, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("reading magic: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	var r io.Reader = f
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening gzip stream: %w", err)
+		}
+		if _, err := io.ReadFull(gz, magic[:]); err != nil {
+			return nil, nil, fmt.Errorf("reading magic inside gzip: %w", err)
+		}
+		// Re-open the gzip stream from the start; gzip readers do not
+		// seek.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, nil, err
+		}
+		gz, err = gzip.NewReader(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		r = gz
+	}
+	if opts.Salvage {
+		src, err := NewSalvageReader(r, SalvageOptions{
+			Format:    opts.Format,
+			MaxErrors: opts.MaxDecodeErrors,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return src, &src.stats, nil
+	}
+	switch opts.Format {
+	case FormatNative:
+		src, err := NewReader(r)
+		return src, nil, err
+	case FormatPcap:
+		src, err := NewPcapReader(r)
+		return src, nil, err
+	case FormatERF:
+		src, err := NewERFReader(r)
+		return src, nil, err
+	}
+	if magic == [4]byte{'L', 'S', 'P', 'T'} {
+		src, err := NewReader(r)
+		return src, nil, err
+	}
+	src, err := NewPcapReader(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("not a native or pcap trace (optionally gzipped): %w", err)
+	}
+	return src, nil, nil
+}
+
+// fileSource couples a Source with the file handle it reads from.
+type fileSource struct {
+	Source
+	f *os.File
+}
+
+// Close implements io.Closer.
+func (s *fileSource) Close() error { return s.f.Close() }
+
+// CloseSource closes src if Open gave it something to close; sources
+// without an underlying file are a no-op.
+func CloseSource(src Source) error {
+	if c, ok := src.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
