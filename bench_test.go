@@ -21,6 +21,7 @@ import (
 	"loopscope/internal/baseline"
 	"loopscope/internal/core"
 	"loopscope/internal/netsim"
+	"loopscope/internal/obs"
 	"loopscope/internal/packet"
 	"loopscope/internal/routing"
 	"loopscope/internal/scenario"
@@ -518,4 +519,47 @@ func BenchmarkStreamingVsBatch(b *testing.B) {
 			sd.Finish()
 		}
 	})
+}
+
+// BenchmarkObsOverhead measures what pipeline instrumentation costs:
+// mode=noop runs the full ingest/batch/detect pipeline with a nil
+// registry — the uninstrumented default, where every metric call is a
+// nil-receiver no-op — and mode=instrumented runs the identical
+// pipeline against a live registry (ingest tap, batch histogram,
+// per-shard counters, backpressure timing, stage spans). CI extracts
+// both into BENCH_obs.json and fails the build when instrumented
+// regresses more than the budget (see cmd/benchjson -mode obs): the
+// observability subsystem's overhead contract, kept honest by a
+// benchmark instead of a comment.
+func BenchmarkObsOverhead(b *testing.B) {
+	recs := parallelBenchTrace()
+	for _, mode := range []string{"noop", "instrumented"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			b.ReportAllocs()
+			var reg *obs.Registry
+			if mode == "instrumented" {
+				reg = obs.NewRegistry()
+			}
+			for i := 0; i < b.N; i++ {
+				e, err := core.New(core.DefaultConfig(), core.WithWorkers(4), core.WithMetrics(reg))
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := trace.MeterSource(trace.NewSliceSource(trace.Meta{Link: "bench"}, recs), reg, nil)
+				res, err := core.RunMetered(e, src, reg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalPackets != len(recs) {
+					b.Fatalf("engine saw %d of %d records", res.TotalPackets, len(recs))
+				}
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			if reg != nil {
+				for _, st := range reg.StageTimings() {
+					b.ReportMetric(float64(st.Total.Nanoseconds())/float64(b.N), "stage_"+st.Stage+"_ns")
+				}
+			}
+		})
+	}
 }

@@ -1,14 +1,25 @@
-// Command benchjson converts `go test -bench` output for the parallel
-// detection sweep into a machine-readable JSON file, so CI can archive
-// the scaling figure per worker count.
+// Command benchjson converts `go test -bench` output into
+// machine-readable JSON files for CI to archive and guard.
 //
-// Usage:
+// Two modes:
 //
-//	go test -run '^$' -bench ParallelDetect -benchtime 1x . | benchjson -out BENCH_parallel.json
+//	-mode parallel (default): extract BenchmarkParallelDetect/workers=N
+//	lines into a per-worker-count scaling table.
 //
-// Only BenchmarkParallelDetect/workers=N lines are extracted; anything
-// else on stdin is ignored, so the tool can consume the raw `go test`
-// stream.
+//	    go test -run '^$' -bench ParallelDetect -benchtime 1x . |
+//	        benchjson -out BENCH_parallel.json
+//
+//	-mode obs: compare BenchmarkObsOverhead's mode=noop and
+//	mode=instrumented results, write the comparison (with every
+//	reported metric, including the per-stage timings) and fail when
+//	the instrumented run regresses more than -max-regress percent —
+//	the observability subsystem's overhead guard.
+//
+//	    go test -run '^$' -bench ObsOverhead -benchtime 5x . |
+//	        benchjson -mode obs -max-regress 5 -out BENCH_obs.json
+//
+// Anything else on stdin is ignored, so the tool can consume the raw
+// `go test` stream.
 package main
 
 import (
@@ -22,7 +33,7 @@ import (
 	"strconv"
 )
 
-// benchLine matches one sub-benchmark result, e.g.
+// benchLine matches one parallel-sweep result, e.g.
 //
 //	BenchmarkParallelDetect/workers=4-8  1  1593049568 ns/op  1507003 records/s
 var benchLine = regexp.MustCompile(
@@ -35,35 +46,99 @@ type entry struct {
 	RecordsPerSec float64 `json:"recordsPerSec"`
 }
 
+// obsLine matches one overhead result, e.g.
+//
+//	BenchmarkObsOverhead/mode=instrumented-8  1  1893215789 ns/op  1063691 records/s  7541871 stage_finish_ns  951537936 B/op  8038028 allocs/op
+var obsLine = regexp.MustCompile(
+	`^BenchmarkObsOverhead/mode=(\w+)\S*\s+\d+\s+([\d.]+) ns/op(.*)`)
+
+// metricPair matches the trailing "value unit" metrics go test appends
+// (records/s, B/op, allocs/op, stage_<name>_ns, ...).
+var metricPair = regexp.MustCompile(`([\d.e+]+) ([\w/_-]+)`)
+
+// obsReport is BENCH_obs.json: the no-op/instrumented comparison.
+type obsReport struct {
+	NoopNsPerOp         float64 `json:"noopNsPerOp"`
+	InstrumentedNsPerOp float64 `json:"instrumentedNsPerOp"`
+	// RegressPct is how much slower the instrumented run was, in
+	// percent of the no-op run; negative means it measured faster
+	// (noise).
+	RegressPct   float64            `json:"regressPct"`
+	Noop         map[string]float64 `json:"noop"`
+	Instrumented map[string]float64 `json:"instrumented"`
+}
+
 func main() {
-	out := flag.String("out", "BENCH_parallel.json", "output JSON file")
+	out := flag.String("out", "", "output JSON file (default BENCH_parallel.json or BENCH_obs.json by mode)")
+	mode := flag.String("mode", "parallel", "what to extract: parallel (worker-count sweep) or obs (instrumentation-overhead comparison)")
+	maxRegress := flag.Float64("max-regress", 5, "obs mode: fail when the instrumented run is more than this percent slower than no-op (< 0: never fail)")
 	flag.Parse()
+	switch *mode {
+	case "parallel":
+		if *out == "" {
+			*out = "BENCH_parallel.json"
+		}
+		mainParallel(*out)
+	case "obs":
+		if *out == "" {
+			*out = "BENCH_obs.json"
+		}
+		mainObs(*out, *maxRegress)
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func mainParallel(out string) {
 	entries, err := parse(os.Stdin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if len(entries) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no BenchmarkParallelDetect results on stdin")
+		fatal(fmt.Errorf("no BenchmarkParallelDetect results on stdin"))
+	}
+	writeJSON(out, entries)
+	for _, e := range entries {
+		fmt.Printf("workers=%d: %.0f records/s\n", e.Workers, e.RecordsPerSec)
+	}
+}
+
+func mainObs(out string, maxRegress float64) {
+	rep, err := parseObs(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	// Write the report before deciding pass/fail, so the artifact
+	// survives a failed guard for post-mortem.
+	writeJSON(out, rep)
+	fmt.Printf("noop %.0f ns/op, instrumented %.0f ns/op: %+.2f%% overhead\n",
+		rep.NoopNsPerOp, rep.InstrumentedNsPerOp, rep.RegressPct)
+	if maxRegress >= 0 && rep.RegressPct > maxRegress {
+		fmt.Fprintf(os.Stderr, "benchjson: instrumentation overhead %.2f%% exceeds the %.2f%% budget\n",
+			rep.RegressPct, maxRegress)
 		os.Exit(1)
 	}
-	f, err := os.Create(*out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// writeJSON writes v to path, indented.
+func writeJSON(path string, v any) {
+	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(entries); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	for _, e := range entries {
-		fmt.Printf("workers=%d: %.0f records/s\n", e.Workers, e.RecordsPerSec)
+		fatal(err)
 	}
 }
 
@@ -92,4 +167,44 @@ func parse(r io.Reader) ([]entry, error) {
 		entries = append(entries, e)
 	}
 	return entries, sc.Err()
+}
+
+// parseObs extracts both BenchmarkObsOverhead modes and computes the
+// overhead percentage. Both modes must be present.
+func parseObs(r io.Reader) (*obsReport, error) {
+	rep := &obsReport{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := obsLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		nsPerOp, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		metrics := map[string]float64{}
+		for _, pm := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(pm[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing metric %q in %q: %w", pm[0], sc.Text(), err)
+			}
+			metrics[pm[2]] = v
+		}
+		switch m[1] {
+		case "noop":
+			rep.NoopNsPerOp, rep.Noop = nsPerOp, metrics
+		case "instrumented":
+			rep.InstrumentedNsPerOp, rep.Instrumented = nsPerOp, metrics
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rep.Noop == nil || rep.Instrumented == nil {
+		return nil, fmt.Errorf("need both BenchmarkObsOverhead modes on stdin (noop: %v, instrumented: %v)",
+			rep.Noop != nil, rep.Instrumented != nil)
+	}
+	rep.RegressPct = 100 * (rep.InstrumentedNsPerOp - rep.NoopNsPerOp) / rep.NoopNsPerOp
+	return rep, nil
 }

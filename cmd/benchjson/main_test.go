@@ -39,3 +39,51 @@ func TestParseNoMatches(t *testing.T) {
 		t.Fatalf("parsed %d entries from non-bench output", len(entries))
 	}
 }
+
+func TestParseObs(t *testing.T) {
+	out := `goos: linux
+BenchmarkObsOverhead/mode=noop-8         	       2	2000000000 ns/op	    844912 records/s	951537088 B/op	 8037965 allocs/op
+BenchmarkObsOverhead/mode=instrumented-8 	       2	2060000000 ns/op	    823691 records/s	   7541871 stage_finish_ns	1885609786 stage_ingest_ns	   2154404 stage_reduce_ns	951537936 B/op	 8038028 allocs/op
+PASS
+`
+	rep, err := parseObs(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NoopNsPerOp != 2e9 || rep.InstrumentedNsPerOp != 2.06e9 {
+		t.Errorf("ns/op = %v / %v", rep.NoopNsPerOp, rep.InstrumentedNsPerOp)
+	}
+	if rep.RegressPct < 2.99 || rep.RegressPct > 3.01 {
+		t.Errorf("regressPct = %v, want ~3", rep.RegressPct)
+	}
+	if rep.Noop["records/s"] != 844912 || rep.Noop["allocs/op"] != 8037965 {
+		t.Errorf("noop metrics = %v", rep.Noop)
+	}
+	if rep.Instrumented["stage_ingest_ns"] != 1885609786 ||
+		rep.Instrumented["stage_reduce_ns"] != 2154404 ||
+		rep.Instrumented["B/op"] != 951537936 {
+		t.Errorf("instrumented metrics = %v", rep.Instrumented)
+	}
+}
+
+func TestParseObsMissingMode(t *testing.T) {
+	out := "BenchmarkObsOverhead/mode=noop-8 1 2000000000 ns/op\nPASS\n"
+	if _, err := parseObs(strings.NewReader(out)); err == nil {
+		t.Fatal("one-sided input accepted; the comparison needs both modes")
+	}
+}
+
+func TestParseObsFasterInstrumented(t *testing.T) {
+	// Instrumented measuring faster than no-op is measurement noise;
+	// the regression must come out negative, never fail the guard.
+	out := `BenchmarkObsOverhead/mode=noop-8 1 2000000000 ns/op
+BenchmarkObsOverhead/mode=instrumented-8 1 1900000000 ns/op
+`
+	rep, err := parseObs(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RegressPct >= 0 {
+		t.Errorf("regressPct = %v, want negative", rep.RegressPct)
+	}
+}

@@ -20,6 +20,8 @@
 //	loopdetect -extract 0 backbone1.lspt   # loop 0's evidence as a pcap
 //	loopdetect -salvage damaged.pcap       # skip corrupt regions, keep going
 //	loopdetect -validate capture.lspt      # reject structurally invalid traces
+//	loopdetect -metrics-addr :9090 big.lspt  # live /metrics, /debug/vars, /debug/pprof
+//	loopdetect -progress huge.pcap.gz      # periodic rate/ETA/skew line on stderr
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 
 	"loopscope/internal/analysis"
 	"loopscope/internal/core"
+	"loopscope/internal/obs"
 	"loopscope/internal/trace"
 )
 
@@ -57,6 +60,9 @@ func main() {
 		maxDecode   = flag.Int("max-decode-errors", -1, "with -salvage, fail once this many corrupt regions have been skipped (<= 0: unlimited)")
 		validate    = flag.Bool("validate", false, "check structural trace invariants (monotonic timestamps, caplen <= wirelen) after ingest and fail on violation")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "detection worker shards (1: sequential; not used by -stream)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live pipeline metrics over HTTP (/metrics, /debug/vars, /debug/pprof); a bare :port binds loopback only")
+		progress    = flag.Bool("progress", false, "report ingest rate, percent done, ETA and shard skew on stderr while running")
+		progressInt = flag.Duration("progress-interval", 2*time.Second, "reporting period for -progress")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -78,38 +84,54 @@ func main() {
 		MergeWindow:    *mergeWindow,
 		ValidateSubnet: !*noValidate,
 	}
-	if *streamMode {
-		if err := runStreaming(flag.Arg(0), cfg); err != nil {
+	// Observability: -metrics-addr and -progress turn instrumentation
+	// on; -json does too, so its run section always carries stage
+	// timings. With none of them reg stays nil and every layer runs on
+	// the free no-op path.
+	if *metricsAddr != "" || *progress || *jsonOut {
+		reg = obs.NewRegistry()
+	}
+	var srv *obs.Server
+	if *metricsAddr != "" {
+		var err error
+		if srv, err = obs.StartServer(*metricsAddr, reg); err != nil {
 			fmt.Fprintln(os.Stderr, "loopdetect:", err)
 			os.Exit(1)
 		}
-		return
+		fmt.Fprintf(os.Stderr, "loopdetect: serving metrics on http://%s/metrics\n", srv.Addr())
 	}
-	if *jsonOut {
-		if err := runJSON(flag.Arg(0), cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "loopdetect:", err)
-			os.Exit(1)
-		}
-		return
+	if *progress {
+		prog = obs.NewProgress(reg, obs.ProgressOptions{Interval: *progressInt})
+		prog.Start()
 	}
-	if *report {
-		if err := runReport(flag.Arg(0), cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "loopdetect:", err)
-			os.Exit(1)
-		}
-		return
+
+	err := dispatch(flag.Arg(0), cfg, *streamMode, *jsonOut, *report, *extract, *extractOut, *showStreams, *showLoops)
+
+	// Shut the reporters down before exiting so the final progress
+	// line lands and the listener closes cleanly.
+	prog.Stop()
+	if srv != nil {
+		srv.Close()
 	}
-	if *extract >= 0 {
-		if err := runExtract(flag.Arg(0), cfg, *extract, *extractOut); err != nil {
-			fmt.Fprintln(os.Stderr, "loopdetect:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(flag.Arg(0), cfg, *showStreams, *showLoops); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "loopdetect:", err)
 		os.Exit(1)
 	}
+}
+
+// dispatch routes to the selected mode; exactly one mode runs.
+func dispatch(path string, cfg core.Config, streamMode, jsonOut, report bool, extract int, extractOut string, showStreams, showLoops bool) error {
+	switch {
+	case streamMode:
+		return runStreaming(path, cfg)
+	case jsonOut:
+		return runJSON(path, cfg)
+	case report:
+		return runReport(path, cfg)
+	case extract >= 0:
+		return runExtract(path, cfg, extract, extractOut)
+	}
+	return run(path, cfg, showStreams, showLoops)
 }
 
 // traceFormat is the -format flag value ("auto" or "erf").
@@ -124,6 +146,16 @@ var (
 	workerCount     = 0
 )
 
+// reg is the pipeline metrics registry, nil unless -metrics-addr,
+// -progress or -json asked for instrumentation: every instrumented
+// call site tolerates nil (the obs no-op contract), so the plain text
+// modes pay nothing. prog is the live progress reporter, nil unless
+// -progress.
+var (
+	reg  *obs.Registry
+	prog *obs.Progress
+)
+
 // openTrace is the tool's single trace.Open call site: it translates
 // the ingestion flags into OpenOptions. The returned *DecodeStats is
 // non-nil only in salvage mode and fills in as the source is drained.
@@ -132,11 +164,18 @@ func openTrace(path string) (trace.Source, *trace.DecodeStats, error) {
 	if traceFormat == "erf" {
 		format = trace.FormatERF
 	}
-	return trace.Open(path, trace.OpenOptions{
+	sp := reg.StartSpan("open")
+	src, stats, err := trace.Open(path, trace.OpenOptions{
 		Format:          format,
 		Salvage:         salvageMode,
 		MaxDecodeErrors: maxDecodeErrors,
+		Metrics:         reg,
 	})
+	sp.End()
+	if err == nil {
+		prog.SetOffset(trace.ProgressOf(src))
+	}
+	return src, stats, err
 }
 
 // newEngine is the tool's single core.New call site.
@@ -145,18 +184,25 @@ func newEngine(cfg core.Config, opts ...core.Option) (core.Engine, error) {
 }
 
 // detect runs the detection engine selected by -workers over an
-// in-memory trace.
+// in-memory trace. A worker panic inside the parallel engine comes
+// back as an error wrapping core.ErrWorkerPanic rather than crashing
+// the tool.
 func detect(recs []trace.Record, cfg core.Config) (*core.Result, error) {
-	e, err := newEngine(cfg, core.WithWorkers(workerCount))
+	e, err := newEngine(cfg, core.WithWorkers(workerCount), core.WithMetrics(reg))
 	if err != nil {
 		return nil, err
 	}
+	sp := reg.StartSpan("detect")
+	defer sp.End()
 	if bo, ok := e.(core.BatchObserver); ok {
 		bo.ObserveBatch(recs)
 	} else {
 		for _, r := range recs {
 			e.Observe(r)
 		}
+	}
+	if ef, ok := e.(core.ErrFinisher); ok {
+		return ef.FinishErr()
 	}
 	return e.Finish(), nil
 }
@@ -291,6 +337,22 @@ type jsonDecodeStats struct {
 	LostRecords   int   `json:"lostRecords"`
 }
 
+// jsonStageTiming is one pipeline stage's accumulated wall time in
+// the run section, in first-start order.
+type jsonStageTiming struct {
+	Stage   string `json:"stage"`
+	Runs    int64  `json:"runs"`
+	TotalNs int64  `json:"totalNs"`
+}
+
+// jsonRun describes how the run itself went — the execution shape, as
+// opposed to what was found in the trace.
+type jsonRun struct {
+	Workers int               `json:"workers"`
+	WallNs  int64             `json:"wallNs"`
+	Stages  []jsonStageTiming `json:"stages"`
+}
+
 type jsonResult struct {
 	Link               string           `json:"link"`
 	Packets            int              `json:"packets"`
@@ -302,12 +364,35 @@ type jsonResult struct {
 	CaptureLossGaps    int              `json:"captureLossGaps"`
 	CaptureLossPackets int              `json:"captureLossPackets"`
 	DecodeStats        *jsonDecodeStats `json:"decodeStats,omitempty"`
+	Run                *jsonRun         `json:"run,omitempty"`
 	Streams            []jsonStream     `json:"streams"`
 	Loops              []jsonLoop       `json:"loops"`
 }
 
-// runJSON emits the whole analysis as one JSON document on stdout.
+// runSection assembles the -json run section from the stage spans the
+// instrumented pipeline recorded; nil when uninstrumented.
+func runSection(start time.Time) *jsonRun {
+	if reg == nil {
+		return nil
+	}
+	r := &jsonRun{
+		Workers: workerCount,
+		WallNs:  time.Since(start).Nanoseconds(),
+		Stages:  []jsonStageTiming{},
+	}
+	for _, st := range reg.StageTimings() {
+		r.Stages = append(r.Stages, jsonStageTiming{
+			Stage: st.Stage, Runs: st.Runs, TotalNs: st.Total.Nanoseconds(),
+		})
+	}
+	return r
+}
+
+// runJSON emits the whole analysis as one JSON document on stdout,
+// including a run section with per-stage timings (main guarantees the
+// registry is live in JSON mode).
 func runJSON(path string, cfg core.Config) error {
+	start := time.Now()
 	recs, meta, dstats, err := loadRecords(path)
 	if err != nil {
 		return err
@@ -316,7 +401,9 @@ func runJSON(path string, cfg core.Config) error {
 	if err != nil {
 		return err
 	}
+	asp := reg.StartSpan("analyze")
 	rep := analysis.Analyze(meta, recs, res)
+	asp.End()
 
 	gaps, lost := captureLoss(recs)
 	out := jsonResult{
@@ -344,6 +431,7 @@ func runJSON(path string, cfg core.Config) error {
 			LostRecords:   dstats.LostRecords,
 		}
 	}
+	out.Run = runSection(start)
 	for _, s := range res.Streams {
 		out.Streams = append(out.Streams, jsonStream{
 			ID: s.ID, Src: s.Summary.Src.String(), Dst: s.Summary.Dst.String(),
@@ -504,7 +592,9 @@ func loadRecords(path string) ([]trace.Record, trace.Meta, *trace.DecodeStats, e
 		return nil, trace.Meta{}, nil, err
 	}
 	defer trace.CloseSource(src)
+	sp := reg.StartSpan("read")
 	recs, err := readAll(src)
+	sp.End()
 	if err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) && len(recs) > 0 {
 			fmt.Fprintf(os.Stderr,

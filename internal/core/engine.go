@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 
+	"loopscope/internal/obs"
 	"loopscope/internal/trace"
 )
 
@@ -30,6 +31,15 @@ type Engine interface {
 // the engine provides it.
 type BatchObserver interface {
 	ObserveBatch([]trace.Record)
+}
+
+// ErrFinisher is implemented by engines whose Finish can fail without
+// the failure being the caller's fault — the ParallelDetector, whose
+// worker shards recover panics and surface them as a wrapped
+// ErrWorkerPanic. Run finishes through this interface when the engine
+// provides it; on engines without it Finish cannot fail.
+type ErrFinisher interface {
+	FinishErr() (*Result, error)
 }
 
 // ConfigError is the single error type every invalid Config produces,
@@ -72,6 +82,7 @@ type options struct {
 	streaming bool
 	emit      func(*Loop)
 	naive     bool
+	metrics   *obs.Registry
 }
 
 // Option configures New.
@@ -99,6 +110,15 @@ func WithNaive() Option {
 	return func(o *options) { o.naive = true }
 }
 
+// WithMetrics instruments the engine against a metrics registry: the
+// engine records its worker count, and the ParallelDetector
+// additionally its per-shard record counters, queue-depth gauges,
+// backpressure counters and reduce-stage span. A nil registry is the
+// uninstrumented default and costs nothing on the hot path.
+func WithMetrics(r *obs.Registry) Option {
+	return func(o *options) { o.metrics = r }
+}
+
 // New constructs a detection engine. With no options it returns the
 // sequential batch Detector; WithWorkers, WithStreaming and WithNaive
 // select the other variants. The configuration is validated uniformly
@@ -121,40 +141,68 @@ func New(cfg Config, opts ...Option) (Engine, error) {
 	if o.workers > 1 && (o.streaming || o.naive) {
 		return nil, errors.New("core: WithWorkers(>1) cannot be combined with WithStreaming or WithNaive")
 	}
+	e, workers, err := build(cfg, &o)
+	if err != nil {
+		return nil, err
+	}
+	if o.metrics != nil {
+		o.metrics.Counter(obs.MetricEngineBuilds).Inc()
+		o.metrics.Gauge(obs.MetricEngineWorkers).Set(int64(workers))
+		if pd, ok := e.(*ParallelDetector); ok {
+			pd.Instrument(o.metrics)
+		}
+	}
+	return e, nil
+}
+
+// build selects the detector variant; it reports the worker count the
+// choice implies (1 for the sequential variants) for the engine gauge.
+func build(cfg Config, o *options) (Engine, int, error) {
 	switch {
 	case o.streaming:
-		return NewStreamDetector(cfg, o.emit), nil
+		return NewStreamDetector(cfg, o.emit), 1, nil
 	case o.naive:
-		return NewNaiveDetector(cfg), nil
+		return NewNaiveDetector(cfg), 1, nil
 	case o.workers == 1:
-		return NewDetector(cfg), nil
+		return NewDetector(cfg), 1, nil
 	case o.workers != 0:
-		return NewParallelDetector(cfg, o.workers), nil
+		return NewParallelDetector(cfg, o.workers), o.workers, nil
 	}
 	// Default: use every core the runtime gives us; a single-core
 	// box gets the sequential detector rather than a one-shard
 	// pipeline.
 	if n := runtime.GOMAXPROCS(0); n > 1 {
-		return NewParallelDetector(cfg, n), nil
+		return NewParallelDetector(cfg, n), n, nil
 	}
-	return NewDetector(cfg), nil
+	return NewDetector(cfg), 1, nil
 }
 
 // Run drives an Engine over a Source, reading records in batches (the
 // pipeline's decode/batch stage) and handing them to the engine —
 // whole slices at a time when it implements BatchObserver. It returns
-// the engine's Result after the source is drained.
+// the engine's Result after the source is drained; an engine that
+// implements ErrFinisher (the ParallelDetector, after a worker panic)
+// can also fail at finish time.
 func Run(e Engine, src trace.Source) (*Result, error) {
+	return RunMetered(e, src, nil)
+}
+
+// RunMetered is Run with pipeline instrumentation: the batcher counts
+// hand-offs into r and the ingest and finish stages are timed as
+// spans. A nil registry makes it exactly Run.
+func RunMetered(e Engine, src trace.Source, r *obs.Registry) (*Result, error) {
 	b := trace.NewBatcher(src, trace.DefaultBatchSize)
+	b.Instrument(r)
 	bo, batched := e.(BatchObserver)
+	ingest := r.StartSpan("ingest")
 	for {
 		recs, err := b.Next()
 		if len(recs) > 0 {
 			if batched {
 				bo.ObserveBatch(recs)
 			} else {
-				for _, r := range recs {
-					e.Observe(r)
+				for _, rec := range recs {
+					e.Observe(rec)
 				}
 			}
 		}
@@ -164,6 +212,12 @@ func Run(e Engine, src trace.Source) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	ingest.End()
+	fin := r.StartSpan("finish")
+	defer fin.End()
+	if ef, ok := e.(ErrFinisher); ok {
+		return ef.FinishErr()
 	}
 	return e.Finish(), nil
 }

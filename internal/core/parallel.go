@@ -2,11 +2,29 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
+	"loopscope/internal/obs"
 	"loopscope/internal/trace"
 )
+
+// ErrWorkerPanic is the sentinel wrapped into the error a
+// ParallelDetector surfaces when one of its worker shards panics. The
+// panic is recovered inside the worker, the peer shards are cancelled
+// (they drain their queues without further processing), and FinishErr
+// reports the first panic with its shard number, value and stack.
+var ErrWorkerPanic = errors.New("core: worker shard panicked")
+
+// shardConsumeHook, when non-nil, is called with each batch a shard
+// worker is about to process. Tests use it to inject a panicking
+// record stream into a live worker; production code leaves it nil (a
+// single predictable branch per batch).
+var shardConsumeHook func(shard int, recs []trace.Record)
 
 // ParallelDetector is the multi-core detection engine. It runs the
 // same three-step algorithm as the sequential Detector but fans the
@@ -50,6 +68,20 @@ type ParallelDetector struct {
 
 	n          int // records observed (global indices)
 	shortShard int // round-robin shard for undecodable snapshots
+
+	// cancel is closed by the first worker panic; producers then drop
+	// batches and the remaining workers drain without processing.
+	cancel     chan struct{}
+	cancelOnce sync.Once
+	panicMu    sync.Mutex
+	panicErr   error
+
+	// Optional instrumentation (see Instrument). reg doubles as the
+	// "is instrumented" flag guarding the clock reads; the counters
+	// are obs no-op sinks when nil.
+	reg        *obs.Registry
+	backNs     *obs.Counter
+	backEvents *obs.Counter
 }
 
 // parallelBatchChannelDepth bounds the per-shard channel: with
@@ -71,6 +103,12 @@ type shardState struct {
 	// globals[i] is the global index of the shard's i-th record.
 	globals []int32
 	res     *Result
+
+	// Per-shard instrumentation (nil no-op sinks when uninstrumented):
+	// recs counts records this shard consumed, depth samples the
+	// shard's queue occupancy at each hand-off.
+	recs  *obs.Counter
+	depth *obs.Gauge
 }
 
 // NewParallelDetector returns a parallel engine with the given number
@@ -88,6 +126,7 @@ func NewParallelDetector(cfg Config, workers int) *ParallelDetector {
 		workers: workers,
 		pending: make([]shardBatch, workers),
 		shards:  make([]*shardState, workers),
+		cancel:  make(chan struct{}),
 	}
 	for i := range p.shards {
 		s := &shardState{
@@ -96,18 +135,91 @@ func NewParallelDetector(cfg Config, workers int) *ParallelDetector {
 		}
 		p.shards[i] = s
 		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			for b := range s.ch {
-				s.globals = append(s.globals, b.idxs...)
-				for _, r := range b.recs {
-					s.det.Observe(r)
-				}
-			}
-			s.res = s.det.Finish()
-		}()
+		go p.worker(i, s)
 	}
 	return p
+}
+
+// worker is one shard's consume loop. A panic anywhere in the shard's
+// processing (detector bug, malformed state, injected fault) must not
+// kill the process or strand the producer mid-send: the panic is
+// recovered, recorded as the detector's error, the peer shards are
+// cancelled, and the channel is drained so Observe never blocks on a
+// dead consumer.
+func (p *ParallelDetector) worker(i int, s *shardState) {
+	defer p.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			p.recordPanic(i, r)
+			// Unblock any in-flight producer sends, then keep draining
+			// until Finish closes the channel.
+			for range s.ch {
+			}
+		}
+	}()
+	for b := range s.ch {
+		select {
+		case <-p.cancel:
+			continue // a peer panicked: drain without processing
+		default:
+		}
+		if hook := shardConsumeHook; hook != nil {
+			hook(i, b.recs)
+		}
+		s.recs.Add(int64(len(b.recs)))
+		s.globals = append(s.globals, b.idxs...)
+		for _, r := range b.recs {
+			s.det.Observe(r)
+		}
+	}
+	select {
+	case <-p.cancel:
+		// Cancelled: the result would be discarded anyway, and the
+		// shard's state may be mid-update.
+	default:
+		s.res = s.det.Finish()
+	}
+}
+
+// recordPanic stores the first worker panic (with stack) and cancels
+// the peers.
+func (p *ParallelDetector) recordPanic(shard int, v any) {
+	p.panicMu.Lock()
+	if p.panicErr == nil {
+		p.panicErr = fmt.Errorf("%w: shard %d: %v\n%s", ErrWorkerPanic, shard, v, debug.Stack())
+	}
+	p.panicMu.Unlock()
+	p.cancelOnce.Do(func() { close(p.cancel) })
+}
+
+// canceled reports whether a worker panic has cancelled the pipeline.
+func (p *ParallelDetector) canceled() bool {
+	select {
+	case <-p.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// Instrument wires the detector into a metrics registry: per-shard
+// record counters and queue-depth gauges (shard balance), and the
+// backpressure counters (time producers spend blocked on a full shard
+// queue — the signal that detection, not ingest, is the bottleneck).
+// Call it before the first Observe; core.New does so when built
+// WithMetrics. Nil registry: no-op.
+func (p *ParallelDetector) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	p.reg = r
+	p.backNs = r.Counter(obs.MetricBackpressureNs)
+	p.backEvents = r.Counter(obs.MetricBackpressureEvents)
+	r.Gauge(obs.MetricEngineWorkers).Set(int64(p.workers))
+	for i, s := range p.shards {
+		s.recs = r.Counter(obs.ShardMetric(obs.MetricShardRecords, i))
+		s.depth = r.Gauge(obs.ShardMetric(obs.MetricShardQueueDepth, i))
+	}
 }
 
 // shardOf routes a record by the masked destination address. The
@@ -161,24 +273,66 @@ func (p *ParallelDetector) ObserveBatch(recs []trace.Record) {
 
 // flushShard sends the pending batch to the shard's worker. The send
 // blocks when the shard is parallelBatchChannelDepth batches behind —
-// the pipeline's backpressure.
+// the pipeline's backpressure. After a worker panic the batch is
+// dropped instead: the run is already failed and the workers are only
+// draining.
 func (p *ParallelDetector) flushShard(s int) {
 	b := p.pending[s]
 	if len(b.recs) == 0 {
 		return
 	}
 	p.pending[s] = shardBatch{}
-	p.shards[s].ch <- b
+	if p.canceled() {
+		return
+	}
+	st := p.shards[s]
+	if p.reg == nil {
+		st.ch <- b
+		return
+	}
+	// Instrumented: measure time blocked on a full queue (the
+	// backpressure signal) and sample the queue depth after the send.
+	select {
+	case st.ch <- b:
+	default:
+		t := time.Now()
+		st.ch <- b
+		p.backNs.Add(time.Since(t).Nanoseconds())
+		p.backEvents.Inc()
+	}
+	st.depth.Set(int64(len(st.ch)))
 }
 
 // Finish drains the pipeline and reduces the per-shard results into
-// one Result identical to the sequential Detector's.
+// one Result identical to the sequential Detector's. If a worker
+// shard panicked during the run, Finish re-raises the recovered panic
+// on the calling goroutine as a wrapped *error* value (so the caller
+// can recover a typed error instead of the process dying on an
+// unreachable goroutine); error-aware callers should prefer
+// FinishErr, which core.Run and the tools use.
 func (p *ParallelDetector) Finish() *Result {
+	res, err := p.FinishErr()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// FinishErr drains the pipeline and reduces the per-shard results,
+// returning an error wrapping ErrWorkerPanic if any worker shard
+// panicked (the Result is nil in that case: with a shard lost the
+// reduce would be silently incomplete).
+func (p *ParallelDetector) FinishErr() (*Result, error) {
 	for s := range p.shards {
 		p.flushShard(s)
 		close(p.shards[s].ch)
 	}
 	p.wg.Wait()
+	if p.panicErr != nil {
+		return nil, p.panicErr
+	}
+	sp := p.reg.StartSpan("reduce")
+	defer sp.End()
 
 	res := &Result{
 		TotalPackets: p.n,
@@ -233,7 +387,7 @@ func (p *ParallelDetector) Finish() *Result {
 		return loops[i].Prefix.Addr.Uint32() < loops[j].Prefix.Addr.Uint32()
 	})
 	res.Loops = loops
-	return res
+	return res, nil
 }
 
 // Workers returns the number of worker shards.

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -148,5 +150,84 @@ func TestParallelWorkersClamped(t *testing.T) {
 	}
 	if res := p.Finish(); res.TotalPackets != 0 {
 		t.Errorf("unexpected packets: %d", res.TotalPackets)
+	}
+}
+
+// installPanicHook arranges for the first batch consumed by any shard
+// worker to panic with the given value, restoring the clean hook when
+// the test ends.
+func installPanicHook(t *testing.T, v any) {
+	t.Helper()
+	shardConsumeHook = func(shard int, recs []trace.Record) { panic(v) }
+	t.Cleanup(func() { shardConsumeHook = nil })
+}
+
+// TestParallelWorkerPanic: a panic inside a worker shard must not kill
+// the process or deadlock the producer; FinishErr surfaces it as an
+// error wrapping ErrWorkerPanic with the panic value and a stack.
+func TestParallelWorkerPanic(t *testing.T) {
+	installPanicHook(t, "injected shard fault")
+	recs := randomTrace(3, 6*time.Second, 500, 3)
+	for _, w := range parallelWorkerCounts {
+		p := NewParallelDetector(DefaultConfig(), w)
+		// Feed far more batches than the shard channels hold: if the
+		// panicked worker stopped draining, or producers kept sending
+		// after cancellation, this would deadlock against the bounded
+		// channels rather than return.
+		for i := 0; i < 40; i++ {
+			p.ObserveBatch(recs)
+		}
+		res, err := p.FinishErr()
+		if res != nil {
+			t.Fatalf("workers %d: got a result alongside a worker panic", w)
+		}
+		if !errors.Is(err, ErrWorkerPanic) {
+			t.Fatalf("workers %d: error %v does not wrap ErrWorkerPanic", w, err)
+		}
+		if !strings.Contains(err.Error(), "injected shard fault") {
+			t.Errorf("workers %d: error does not carry the panic value: %v", w, err)
+		}
+		if !strings.Contains(err.Error(), "goroutine") {
+			t.Errorf("workers %d: error does not carry a stack trace: %v", w, err)
+		}
+	}
+}
+
+// TestParallelWorkerPanicFinish: the plain Finish re-raises the
+// recovered worker panic on the calling goroutine as a typed error
+// value the caller can recover.
+func TestParallelWorkerPanicFinish(t *testing.T) {
+	installPanicHook(t, "finish-path fault")
+	p := NewParallelDetector(DefaultConfig(), 2)
+	p.ObserveBatch(randomTrace(5, 3*time.Second, 400, 2))
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("Finish did not re-raise the worker panic")
+		}
+		err, ok := v.(error)
+		if !ok || !errors.Is(err, ErrWorkerPanic) {
+			t.Fatalf("recovered %v (%T), want an error wrapping ErrWorkerPanic", v, v)
+		}
+	}()
+	p.Finish()
+}
+
+// TestParallelWorkerPanicRun: core.Run over a panicking engine returns
+// the wrapped error to the caller instead of crashing — the contract
+// the CLI relies on.
+func TestParallelWorkerPanicRun(t *testing.T) {
+	installPanicHook(t, errors.New("run-path fault"))
+	e, err := New(DefaultConfig(), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := trace.NewSliceSource(trace.Meta{Link: "mem"}, randomTrace(9, 6*time.Second, 500, 3))
+	res, err := Run(e, src)
+	if res != nil {
+		t.Fatal("Run returned a result alongside a worker panic")
+	}
+	if !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("Run error %v does not wrap ErrWorkerPanic", err)
 	}
 }

@@ -129,15 +129,21 @@ func findCause(roots []events.Event, l *core.Loop, window time.Duration) *events
 func findHealer(fibs []events.Event, l *core.Loop, window time.Duration) *events.Event {
 	lo, hi := l.End-window/2, l.End+window
 	i := sort.Search(len(fibs), func(i int) bool { return fibs[i].At >= lo })
-	var any *events.Event
+	var early, any *events.Event
 	for ; i < len(fibs) && fibs[i].At <= hi; i++ {
 		e := &fibs[i]
-		if covers(e, l) && e.At >= l.End {
-			return e
+		if covers(e, l) {
+			if e.At >= l.End {
+				return e
+			}
+			early = e // latest covering update just before the end
 		}
 		if any == nil && e.At >= l.End {
 			any = e
 		}
+	}
+	if early != nil {
+		return early
 	}
 	return any
 }

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of everything the registry holds,
+// the common input for both exposition formats and for the progress
+// reporter.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Stages     []StageTiming                `json:"stages"`
+}
+
+// Snapshot copies the registry's current state. Nil-safe: a nil
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.snapshot()
+	}
+	r.mu.Unlock()
+	s.Stages = r.StageTimings()
+	return s
+}
+
+// baseName strips a Prometheus label suffix: the series
+// `x_total{shard="3"}` belongs to metric family `x_total`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms with cumulative _bucket/_sum/_count series, and
+// stage timings as loopscope_stage_seconds_total /
+// loopscope_stage_runs_total series labelled by stage. Output is
+// deterministic (names sorted, stages in pipeline order).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	snap := r.Snapshot()
+
+	writeFamily := func(kind string, values map[string]int64) {
+		lastBase := ""
+		for _, name := range sortedKeys(values) {
+			if b := baseName(name); b != lastBase {
+				fmt.Fprintf(bw, "# TYPE %s %s\n", b, kind)
+				lastBase = b
+			}
+			fmt.Fprintf(bw, "%s %d\n", name, values[name])
+		}
+	}
+	writeFamily("counter", snap.Counters)
+	writeFamily("gauge", snap.Gauges)
+
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		cum := int64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(bw, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+	}
+
+	if len(snap.Stages) > 0 {
+		fmt.Fprintf(bw, "# TYPE loopscope_stage_seconds_total counter\n")
+		for _, st := range snap.Stages {
+			fmt.Fprintf(bw, "loopscope_stage_seconds_total{stage=%q} %.9f\n",
+				st.Stage, st.Total.Seconds())
+		}
+		fmt.Fprintf(bw, "# TYPE loopscope_stage_runs_total counter\n")
+		for _, st := range snap.Stages {
+			fmt.Fprintf(bw, "loopscope_stage_runs_total{stage=%q} %d\n", st.Stage, st.Runs)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the snapshot as one indented JSON document (the
+// /debug/vars payload; also usable for archiving a run's metrics).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

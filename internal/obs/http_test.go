@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	c := http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricTraceRecords).Add(7)
+	sp := r.StartSpan("detect")
+	sp.End()
+
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "loopscope_trace_records_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, `loopscope_stage_runs_total{stage="detect"} 1`) {
+		t.Errorf("/metrics missing stage series:\n%s", body)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters[MetricTraceRecords] != 7 {
+		t.Errorf("/debug/vars counter = %d, want 7", snap.Counters[MetricTraceRecords])
+	}
+
+	// pprof must be mounted: the index and a cheap profile endpoint.
+	if code, _ := get(t, base+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+	if code, body := get(t, base+"/debug/pprof/goroutine?debug=1"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/goroutine status %d", code)
+	}
+}
+
+// TestBarePortBindsLoopback pins the security default: an address
+// without a host must bind 127.0.0.1, not every interface.
+func TestBarePortBindsLoopback(t *testing.T) {
+	srv, err := StartServer(":0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.Addr(), "127.0.0.1:") {
+		t.Errorf("bare :port bound %s, want loopback", srv.Addr())
+	}
+}

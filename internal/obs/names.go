@@ -1,0 +1,42 @@
+package obs
+
+import "fmt"
+
+// Canonical metric names. Instrumented layers and consumers (the
+// progress reporter, tests, dashboards) agree on these constants
+// instead of scattering string literals.
+const (
+	// Ingest (trace.MeterSource).
+	MetricTraceRecords      = "loopscope_trace_records_total"
+	MetricTraceCaptureBytes = "loopscope_trace_capture_bytes_total"
+	MetricTraceWireBytes    = "loopscope_trace_wire_bytes_total"
+	MetricTraceLossGaps     = "loopscope_trace_loss_gaps_total"
+	MetricTraceLostPackets  = "loopscope_trace_lost_packets_total"
+
+	// Salvage decode health (gauges mirroring the live DecodeStats).
+	MetricSalvageRecords      = "loopscope_salvage_records"
+	MetricSalvageSalvaged     = "loopscope_salvage_salvaged"
+	MetricSalvageErrors       = "loopscope_salvage_errors"
+	MetricSalvageResyncs      = "loopscope_salvage_resyncs"
+	MetricSalvageBytesSkipped = "loopscope_salvage_bytes_skipped"
+
+	// Batch stage (trace.Batcher).
+	MetricBatches   = "loopscope_batch_total"
+	MetricBatchFill = "loopscope_batch_fill"
+
+	// Detection pipeline (core.ParallelDetector). The per-shard
+	// series carry a shard label; build names with ShardMetric.
+	MetricShardRecords       = "loopscope_detect_shard_records_total"
+	MetricShardQueueDepth    = "loopscope_detect_queue_depth"
+	MetricBackpressureNs     = "loopscope_detect_backpressure_ns_total"
+	MetricBackpressureEvents = "loopscope_detect_backpressure_events_total"
+	MetricEngineWorkers      = "loopscope_engine_workers"
+	MetricEngineBuilds       = "loopscope_engine_builds_total"
+)
+
+// ShardMetric returns the per-shard series name for a shard-labelled
+// metric family, e.g. ShardMetric(MetricShardRecords, 3) =
+// `loopscope_detect_shard_records_total{shard="3"}`.
+func ShardMetric(family string, shard int) string {
+	return fmt.Sprintf("%s{shard=%q}", family, fmt.Sprint(shard))
+}

@@ -1,0 +1,142 @@
+// Package obs is loopscope's pipeline observability layer: a
+// dependency-free metrics registry (atomic counters, gauges and
+// fixed-bucket histograms), a stage-span tracer that attributes wall
+// time to the pipeline stages (open/sniff → salvage decode → batch →
+// shard → detect → reduce → analyze), snapshot writers (Prometheus
+// text and JSON), an HTTP endpoint (/metrics, /debug/vars,
+// /debug/pprof), and a periodic progress reporter.
+//
+// The package is built around one contract: uninstrumented runs pay
+// ~zero cost. Every type is nil-safe — a nil *Registry hands out nil
+// metrics, and every operation on a nil metric (Add, Inc, Set,
+// Observe, span End) is an allocation-free no-op that never reads the
+// clock — so instrumented code takes a *Registry, keeps the metric
+// pointers it needs, and calls them unconditionally: there is no "if
+// enabled" branching at call sites. TestNoopAllocationFree pins the
+// allocation-free claim and BenchmarkObsOverhead (CI-guarded at < 5%)
+// pins the throughput cost of the instrumented detection hot path.
+//
+// Metric values are int64 throughout (counts, bytes, nanoseconds):
+// the pipeline has no fractional quantities, and int64 atomics are
+// the cheapest primitive every platform supports.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry owns a process's metrics and stage timings. Metrics are
+// registered on first use by name and shared on subsequent lookups, so
+// independently instrumented layers (trace reader, batcher, detector
+// shards) can feed the same registry without coordination.
+//
+// Prometheus-style label syntax in names is supported and opaque to
+// the registry: a name like `loopscope_detect_shard_records_total{shard="3"}`
+// is one metric; the exporter groups such series under one # TYPE
+// header. All methods are safe for concurrent use, and all methods on
+// a nil *Registry are no-ops returning nil metrics.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	// stages accumulates span timings; stageOrder preserves
+	// first-start order so reports read in pipeline order.
+	stages     map[string]*stageAgg
+	stageOrder []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		stages:   make(map[string]*stageAgg),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil *Counter, whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil *Gauge, whose methods are no-ops.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket upper bounds on first use (an implicit +Inf bucket
+// is always appended). Later lookups of the same name return the
+// existing histogram regardless of bounds. A nil registry returns a
+// nil *Histogram, whose methods are no-ops.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// counterNames returns the registered counter names, sorted, so every
+// export is deterministic. Caller must hold r.mu.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// stageAgg accumulates one stage's span timings.
+type stageAgg struct {
+	runs  int64
+	total time.Duration
+}
+
+// recordStage folds one finished span into the stage table.
+func (r *Registry) recordStage(name string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	agg := r.stages[name]
+	if agg == nil {
+		agg = &stageAgg{}
+		r.stages[name] = agg
+		r.stageOrder = append(r.stageOrder, name)
+	}
+	agg.runs++
+	agg.total += d
+}

@@ -1,0 +1,57 @@
+package obs
+
+import "time"
+
+// Span measures one execution of a pipeline stage. Obtain one with
+// Registry.StartSpan and close it with End; the elapsed wall time is
+// folded into the registry's per-stage totals. Spans are values, not
+// pointers: starting and ending a span allocates nothing, and a span
+// from a nil registry never reads the clock.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan begins timing the named stage. On a nil registry the
+// returned span is inert (End is a no-op and no clock is read).
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// End stops the span and records its elapsed time. Calling End on an
+// inert span (nil registry) is a no-op. End must be called at most
+// once per span.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	s.r.recordStage(s.name, time.Since(s.start))
+}
+
+// StageTiming is one stage's accumulated wall time.
+type StageTiming struct {
+	Stage string        `json:"stage"`
+	Runs  int64         `json:"runs"`
+	Total time.Duration `json:"totalNs"`
+}
+
+// StageTimings returns the accumulated per-stage timings in
+// first-start order (which for a linear pipeline is pipeline order).
+// Nil-safe: a nil registry returns nil.
+func (r *Registry) StageTimings() []StageTiming {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]StageTiming, 0, len(r.stageOrder))
+	for _, name := range r.stageOrder {
+		agg := r.stages[name]
+		out = append(out, StageTiming{Stage: name, Runs: agg.runs, Total: agg.total})
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package trace
+
+import "loopscope/internal/obs"
+
+// meteredSource wraps a Source and counts what flows through it:
+// records, captured and wire bytes, capture-loss gaps, and — when the
+// underlying reader is a SalvageReader — the live decode-health
+// gauges. It is the ingest stage's instrumentation tap.
+type meteredSource struct {
+	src Source
+
+	recs     *obs.Counter
+	capBytes *obs.Counter
+	wireB    *obs.Counter
+	lossGaps *obs.Counter
+	lostPkts *obs.Counter
+
+	// stats is the live salvage DecodeStats, nil for strict readers.
+	// The gauges mirror it so /metrics shows decode health mid-run.
+	stats     *DecodeStats
+	sRecords  *obs.Gauge
+	sSalvaged *obs.Gauge
+	sErrors   *obs.Gauge
+	sResyncs  *obs.Gauge
+	sSkipped  *obs.Gauge
+}
+
+// MeterSource wraps src so every record read updates the ingest
+// metrics in r (obs.MetricTraceRecords and friends). stats may be nil;
+// when it is the live DecodeStats of a salvage pass, the salvage
+// gauges track it. A nil registry returns src unchanged, so the
+// uninstrumented path has no wrapper at all.
+func MeterSource(src Source, r *obs.Registry, stats *DecodeStats) Source {
+	if r == nil {
+		return src
+	}
+	m := &meteredSource{
+		src:      src,
+		recs:     r.Counter(obs.MetricTraceRecords),
+		capBytes: r.Counter(obs.MetricTraceCaptureBytes),
+		wireB:    r.Counter(obs.MetricTraceWireBytes),
+		lossGaps: r.Counter(obs.MetricTraceLossGaps),
+		lostPkts: r.Counter(obs.MetricTraceLostPackets),
+	}
+	if stats != nil {
+		m.stats = stats
+		m.sRecords = r.Gauge(obs.MetricSalvageRecords)
+		m.sSalvaged = r.Gauge(obs.MetricSalvageSalvaged)
+		m.sErrors = r.Gauge(obs.MetricSalvageErrors)
+		m.sResyncs = r.Gauge(obs.MetricSalvageResyncs)
+		m.sSkipped = r.Gauge(obs.MetricSalvageBytesSkipped)
+	}
+	return m
+}
+
+// Meta implements Source.
+func (m *meteredSource) Meta() Meta { return m.src.Meta() }
+
+// Next implements Source, counting successful reads.
+func (m *meteredSource) Next() (Record, error) {
+	rec, err := m.src.Next()
+	if err != nil {
+		return rec, err
+	}
+	m.recs.Inc()
+	m.capBytes.Add(int64(len(rec.Data)))
+	m.wireB.Add(int64(rec.WireLen))
+	if rec.Lost > 0 {
+		m.lossGaps.Inc()
+		m.lostPkts.Add(int64(rec.Lost))
+	}
+	if m.stats != nil {
+		m.sRecords.Set(int64(m.stats.Records))
+		m.sSalvaged.Set(int64(m.stats.Salvaged))
+		m.sErrors.Set(int64(m.stats.Errors))
+		m.sResyncs.Set(int64(m.stats.Resyncs))
+		m.sSkipped.Set(m.stats.BytesSkipped)
+	}
+	return rec, nil
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"loopscope/internal/obs"
 )
 
 // OpenOptions configures Open. The zero value sniffs the format and
@@ -21,6 +23,11 @@ type OpenOptions struct {
 	Salvage bool
 	// MaxDecodeErrors is the salvage error budget (<= 0: unlimited).
 	MaxDecodeErrors int
+	// Metrics, when non-nil, meters the returned source: records,
+	// bytes, capture-loss gaps, and (under Salvage) live decode-health
+	// gauges flow into the registry as the source is consumed. Nil
+	// keeps the source unwrapped — the uninstrumented default.
+	Metrics *obs.Registry
 }
 
 // Open opens a trace file for reading, concentrating the open/sniff/
@@ -43,6 +50,7 @@ func Open(path string, opts OpenOptions) (Source, *DecodeStats, error) {
 		f.Close()
 		return nil, nil, err
 	}
+	src = MeterSource(src, opts.Metrics, stats)
 	return &fileSource{Source: src, f: f}, stats, nil
 }
 
@@ -115,6 +123,40 @@ type fileSource struct {
 
 // Close implements io.Closer.
 func (s *fileSource) Close() error { return s.f.Close() }
+
+// Progress implements Progresser: the file offset consumed so far and
+// the file's total size. For gzipped traces both figures are in
+// compressed bytes (the only offsets the file handle knows), which is
+// exactly what a percent-done/ETA computation wants. The offset is
+// read from the OS file position, so buffered readers make it run a
+// little ahead of the records actually delivered; progress reporting
+// tolerates that slack.
+func (s *fileSource) Progress() (offset, size int64) {
+	off, err := s.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, 0
+	}
+	st, err := s.f.Stat()
+	if err != nil {
+		return off, 0
+	}
+	return off, st.Size()
+}
+
+// Progresser is implemented by sources that can report how far into
+// the input they are (trace files opened with Open).
+type Progresser interface {
+	Progress() (offset, size int64)
+}
+
+// ProgressOf returns src's progress function, or nil when the source
+// cannot report byte offsets (in-memory sources, bare readers).
+func ProgressOf(src Source) func() (offset, size int64) {
+	if p, ok := src.(Progresser); ok {
+		return p.Progress
+	}
+	return nil
+}
 
 // CloseSource closes src if Open gave it something to close; sources
 // without an underlying file are a no-op.
