@@ -22,6 +22,12 @@
 //	loopdetect -validate capture.lspt      # reject structurally invalid traces
 //	loopdetect -metrics-addr :9090 big.lspt  # live /metrics, /debug/vars, /debug/pprof
 //	loopdetect -progress huge.pcap.gz      # periodic rate/ETA/skew line on stderr
+//	cat capture.lspt | loopdetect -        # read the trace from stdin
+//
+// A SIGINT (ctrl-C) stops ingestion cleanly: whatever was read so far
+// is analyzed and printed as a partial result, and the process exits
+// with status 3 to distinguish an interrupted run from success (0) and
+// failure (1). A second SIGINT kills immediately.
 package main
 
 import (
@@ -31,7 +37,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"loopscope/internal/analysis"
@@ -66,10 +74,23 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: loopdetect [flags] trace-file")
+		fmt.Fprintln(os.Stderr, "usage: loopdetect [flags] trace-file   (use - for stdin)")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+
+	// SIGINT stops ingestion at the next record boundary; the partial
+	// trace is analyzed and the exit status becomes 3. Restoring the
+	// default handler after the first signal lets a second ctrl-C kill
+	// a run that is stuck before the loop notices the flag.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		fmt.Fprintln(os.Stderr, "loopdetect: interrupt: finishing with the records read so far (^C again to kill)")
+		signal.Stop(sigc)
+	}()
 	traceFormat = *format
 	salvageMode = *salvage
 	maxDecodeErrors = *maxDecode
@@ -117,7 +138,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loopdetect:", err)
 		os.Exit(1)
 	}
+	if interrupted.Load() {
+		fmt.Fprintln(os.Stderr, "loopdetect: interrupted; results above cover the partial trace")
+		os.Exit(3)
+	}
 }
+
+// interrupted is set by the SIGINT handler; the ingest loops poll it
+// at record granularity and stop cleanly.
+var interrupted atomic.Bool
 
 // dispatch routes to the selected mode; exactly one mode runs.
 func dispatch(path string, cfg core.Config, streamMode, jsonOut, report bool, extract int, extractOut string, showStreams, showLoops bool) error {
@@ -477,6 +506,9 @@ func runStreaming(path string, cfg core.Config) error {
 	}
 	observed, lossGaps, lostPackets := 0, 0, 0
 	for {
+		if interrupted.Load() {
+			break
+		}
 		rec, err := src.Next()
 		if errors.Is(err, io.EOF) {
 			break
@@ -563,10 +595,15 @@ func run(path string, cfg core.Config, showStreams, showLoops bool) error {
 }
 
 // readAll drains a source, returning whatever was read before any
-// error alongside the error itself.
+// error alongside the error itself. A SIGINT ends the read early and
+// cleanly: the records so far are returned with no error, and main
+// turns the run into exit status 3.
 func readAll(src trace.Source) ([]trace.Record, error) {
 	var recs []trace.Record
 	for {
+		if interrupted.Load() {
+			return recs, nil
+		}
 		r, err := src.Next()
 		if errors.Is(err, io.EOF) {
 			return recs, nil

@@ -1,0 +1,207 @@
+// Command loopscoped is the continuous-operation daemon: it follows
+// live trace sources — growing capture files, rotated-capture
+// directories, native trace streams over TCP or unix sockets — runs
+// the bounded-memory loop detector over each, and publishes finalized
+// loop events to an append-only JSONL journal, an optional webhook,
+// and an HTTP API.
+//
+// A periodic checkpoint (-checkpoint) records every source's position;
+// after a crash or restart the daemon resumes from it without
+// re-emitting journal entries. SIGTERM and SIGINT shut down
+// gracefully: detectors are drained (partial loops journaled marked
+// "truncated"), a final checkpoint is written, and sinks are flushed
+// within -drain-timeout.
+//
+// Usage:
+//
+//	loopscoped [flags]
+//
+// Examples:
+//
+//	loopscoped -tail /captures/backbone1.lspt -journal loops.jsonl
+//	loopscoped -tail bb1=/cap/bb1.lspt -tail bb2=/cap/bb2.lspt -checkpoint cp.json
+//	loopscoped -watch /captures/rotated/ -http :8080 -webhook http://noc/hook
+//	loopscoped -listen tcp:127.0.0.1:4444 -journal loops.jsonl
+//	tracegen -live-every 500 grow.lspt & loopscoped -tail grow.lspt -exit-idle 5s
+//
+// Source flags repeat; each takes "name=spec" or a bare spec (the name
+// is then derived). Every event carries its source name, which is also
+// the checkpoint key — keep names stable across restarts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"loopscope/internal/core"
+	"loopscope/internal/obs"
+	"loopscope/internal/serve"
+)
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var tails, watches, listens multiFlag
+	flag.Var(&tails, "tail", "follow a growing native trace file: [name=]path (repeatable)")
+	flag.Var(&watches, "watch", "process a rotated-capture directory in segment order: [name=]dir (repeatable)")
+	flag.Var(&listens, "listen", "accept native trace streams: [name=]tcp:host:port or [name=]unix:/path.sock (repeatable)")
+	var (
+		journalPath  = flag.String("journal", "", "append loop events to this JSONL file")
+		journalMax   = flag.Int64("journal-max-bytes", 64<<20, "rotate the journal when it would exceed this size (0: never)")
+		journalKeep  = flag.Int("journal-keep", 3, "rotated journal generations to retain")
+		webhookURL   = flag.String("webhook", "", "POST each loop event as JSON to this URL")
+		webhookQueue = flag.Int("webhook-queue", 256, "webhook queue bound; overflow is dropped and counted")
+		httpAddr     = flag.String("http", "", "serve /healthz, /api/loops, /api/sources, /metrics, /debug/pprof; a bare :port binds loopback only")
+		cpPath       = flag.String("checkpoint", "", "periodically write an atomic resume checkpoint here")
+		cpInterval   = flag.Duration("checkpoint-interval", time.Second, "checkpoint period")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for detector drain and sink flush")
+		exitIdle     = flag.Duration("exit-idle", 0, "exit cleanly once every source has been idle this long (0: run forever)")
+		poll         = flag.Duration("poll", 200*time.Millisecond, "poll interval for file-backed sources")
+		dirGlob      = flag.String("watch-glob", "", "with -watch, only consume segment files matching this shell pattern")
+		ringSize     = flag.Int("ring", 1024, "recent events kept in memory for /api/loops")
+
+		minReplicas = flag.Int("min-replicas", 3, "smallest replica set reported as loop evidence")
+		minDelta    = flag.Int("ttl-delta", 2, "smallest acceptable TTL decrement between replicas")
+		prefixBits  = flag.Int("prefix-bits", 24, "destination aggregation width for validation/merging")
+		mergeWindow = flag.Duration("merge-window", time.Minute, "gap within which same-prefix streams merge")
+		replicaGap  = flag.Duration("replica-gap", 2*time.Second, "max spacing between successive replicas")
+		noValidate  = flag.Bool("no-validate", false, "disable the step-2 subnet validation")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: loopscoped [flags]   (sources come from -tail/-watch/-listen)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if len(tails)+len(watches)+len(listens) == 0 {
+		fmt.Fprintln(os.Stderr, "loopscoped: no sources; give at least one -tail, -watch or -listen")
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "loopscoped: ", log.LstdFlags)
+	reg := obs.NewRegistry()
+	d, err := serve.New(serve.Config{
+		Detector: core.Config{
+			MinReplicas:    *minReplicas,
+			MinTTLDelta:    *minDelta,
+			MemberReplicas: 2,
+			PrefixBits:     *prefixBits,
+			MaxReplicaGap:  *replicaGap,
+			MergeWindow:    *mergeWindow,
+			ValidateSubnet: !*noValidate,
+		},
+		CheckpointPath:     *cpPath,
+		CheckpointInterval: *cpInterval,
+		DrainTimeout:       *drainTimeout,
+		ExitIdle:           *exitIdle,
+		TailPoll:           *poll,
+		DirGlob:            *dirGlob,
+		RingSize:           *ringSize,
+		Metrics:            reg,
+		Logf:               logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	for _, spec := range tails {
+		name, path := splitSpec(spec, func(p string) string { return trimExt(filepath.Base(p)) })
+		if err := d.AddTailSource(name, path); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("tailing %s as source %q", path, name)
+	}
+	for _, spec := range watches {
+		name, dir := splitSpec(spec, func(p string) string { return filepath.Base(filepath.Clean(p)) })
+		if err := d.AddDirSource(name, dir); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("watching %s as source %q", dir, name)
+	}
+	for i, spec := range listens {
+		idx := i
+		name, ep := splitSpec(spec, func(string) string {
+			if idx == 0 {
+				return "feed"
+			}
+			return fmt.Sprintf("feed%d", idx)
+		})
+		network, addr, ok := strings.Cut(ep, ":")
+		if !ok || (network != "tcp" && network != "unix") {
+			logger.Fatalf("bad -listen %q: want tcp:host:port or unix:/path.sock", spec)
+		}
+		bound, err := d.AddFeedSource(name, network, addr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("listening on %s (%s) as source %q", bound, network, name)
+	}
+
+	if *journalPath != "" {
+		j, err := serve.NewJournal(serve.JournalOptions{
+			Path: *journalPath, MaxBytes: *journalMax, Keep: *journalKeep, Metrics: reg,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		d.AddSink(j)
+	}
+	if *webhookURL != "" {
+		d.AddSink(serve.NewWebhook(serve.WebhookOptions{
+			URL: *webhookURL, QueueSize: *webhookQueue, Metrics: reg,
+		}))
+	}
+
+	var srv *obs.Server
+	if *httpAddr != "" {
+		if srv, err = obs.StartHandler(*httpAddr, d.Handler()); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("serving API on http://%s/ (healthz, api/loops, api/sources, metrics)", srv.Addr())
+	}
+
+	// SIGTERM/SIGINT trigger one graceful drain; a second signal kills.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	err = d.Run(ctx)
+	if srv != nil {
+		srv.Close()
+	}
+	if err != nil && ctx.Err() == nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("stopped")
+}
+
+// splitSpec parses "name=value" source specs, deriving the name from
+// the value when absent.
+func splitSpec(spec string, derive func(string) string) (name, value string) {
+	if n, v, ok := strings.Cut(spec, "="); ok && n != "" && !strings.Contains(n, "/") {
+		return n, v
+	}
+	return derive(spec), spec
+}
+
+// trimExt drops one filename extension.
+func trimExt(name string) string {
+	if ext := filepath.Ext(name); ext != "" {
+		return strings.TrimSuffix(name, ext)
+	}
+	return name
+}

@@ -19,6 +19,7 @@
 //	tracegen -duration 10m -pps 20000 -loops 25 big.lspt
 //	tracegen -chaos-bursts 20 -chaos-tail 100 damaged.lspt
 //	tracegen -chaos-drop 0.01 -chaos-dup 0.001 lossy.lspt
+//	tracegen -live-every 500 grow.lspt   # growing capture for loopscoped -tail
 package main
 
 import (
@@ -50,7 +51,13 @@ type genConfig struct {
 
 	recordFaults chaos.RecordFaults
 	byteFaults   chaos.ByteFaults
+
+	liveEvery int
+	liveDelay time.Duration
 }
+
+// live reports whether growing-file emulation is on.
+func (c *genConfig) live() bool { return c.liveEvery > 0 }
 
 // hasRecordFaults reports whether any record-level fault is enabled.
 func (c *genConfig) hasRecordFaults() bool {
@@ -83,6 +90,8 @@ func main() {
 	flag.IntVar(&cfg.byteFaults.GarbageBursts, "chaos-bursts", 0, "number of garbage bursts in the encoded file")
 	flag.IntVar(&cfg.byteFaults.BurstLen, "chaos-burst-len", 64, "maximum garbage burst length in bytes")
 	flag.IntVar(&cfg.byteFaults.TruncateTail, "chaos-tail", 0, "bytes cut from the end of the encoded file")
+	flag.IntVar(&cfg.liveEvery, "live-every", 0, "emulate a live capture: flush the output file every N records (0: write all at once); pair with loopscoped -tail")
+	flag.DurationVar(&cfg.liveDelay, "live-delay", 100*time.Millisecond, "with -live-every, pause between flushed batches")
 	flag.Parse()
 	cfg.recordFaults.Seed = *chaosSeed
 	cfg.recordFaults.CountLoss = true
@@ -92,6 +101,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: tracegen [flags] output-file")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if cfg.live() {
+		// Live emulation appends finished records straight to the
+		// file; both gzip (not incrementally readable) and byte-level
+		// faults (need the whole encoded image in hand) contradict
+		// that.
+		if cfg.gz {
+			fmt.Fprintln(os.Stderr, "tracegen: -live-every is incompatible with -gzip")
+			os.Exit(2)
+		}
+		if cfg.hasByteFaults() {
+			fmt.Fprintln(os.Stderr, "tracegen: -live-every is incompatible with byte-level chaos faults (-chaos-bitflips/-chaos-bursts/-chaos-tail)")
+			os.Exit(2)
+		}
 	}
 	if err := run(flag.Arg(0), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
@@ -139,9 +162,14 @@ func run(path string, cfg genConfig) error {
 
 	// Byte-level faults need the encoded image in hand before it
 	// reaches the file (and before gzip, which would otherwise turn
-	// one flipped bit into an undecodable stream).
+	// one flipped bit into an undecodable stream). Live mode skips the
+	// buffer entirely: records go straight to the file in flushed
+	// batches so a concurrent tailer sees the capture grow.
 	var enc bytes.Buffer
 	var out io.Writer = &enc
+	if cfg.live() {
+		out = f
+	}
 
 	meta := trace.Meta{Link: "tracegen", SnapLen: trace.DefaultSnapLen, Start: time.Unix(0, 0)}
 	var w interface {
@@ -168,9 +196,15 @@ func run(path string, cfg genConfig) error {
 		faultSink = chaos.NewSink(w, cfg.recordFaults)
 		sink = faultSink
 	}
-	for _, r := range recs {
+	for i, r := range recs {
 		if err := sink.Write(r); err != nil {
 			return err
+		}
+		if cfg.live() && (i+1)%cfg.liveEvery == 0 {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			time.Sleep(cfg.liveDelay)
 		}
 	}
 	if faultSink != nil {
@@ -180,6 +214,10 @@ func run(path string, cfg genConfig) error {
 	}
 	if err := w.Flush(); err != nil {
 		return err
+	}
+	if cfg.live() {
+		fmt.Printf("wrote %d records (%d scripted loops) live to %s\n", len(recs), cfg.loops, path)
+		return nil
 	}
 
 	image := enc.Bytes()

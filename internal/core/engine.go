@@ -210,6 +210,15 @@ func RunMetered(e Engine, src trace.Source, r *obs.Registry) (*Result, error) {
 			break
 		}
 		if err != nil {
+			// Release engine resources before reporting: the parallel
+			// detector's workers block on their shard channels until
+			// finished, so abandoning the engine here would leak them.
+			ingest.End()
+			if ef, ok := e.(ErrFinisher); ok {
+				ef.FinishErr()
+			} else {
+				e.Finish()
+			}
 			return nil, err
 		}
 	}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"time"
+
+	"loopscope/internal/trace"
+)
+
+// SessionEvent is one loop emission from a Session.
+type SessionEvent struct {
+	// Loop is the finalized (or, under Drain, partially observed)
+	// routing loop.
+	Loop *Loop
+	// Seq numbers final emissions from 0 in emission order; replayed
+	// (suppressed) emissions consume sequence numbers, so Seq is
+	// stable across a checkpoint/resume cycle. Truncated emissions
+	// carry Seq -1: they are not part of the final sequence.
+	Seq int
+	// Truncated marks loops flushed by Drain before the stream reached
+	// the point where they could no longer change: the loop is real
+	// evidence but its extent may be incomplete, and a resumed run
+	// will re-emit the completed version as a final event.
+	Truncated bool
+}
+
+// Session is the resumable, drainable streaming handle the serve
+// daemon runs a live source through. It wraps the bounded-memory
+// StreamDetector with the three things continuous operation needs and
+// a one-shot batch run does not:
+//
+//   - Position accounting: Records and HighWater report how far into
+//     the stream the detector has advanced, which is what a checkpoint
+//     stores.
+//   - Replay suppression: the StreamDetector is deterministic over a
+//     record sequence, so a restarted process rebuilds detector state
+//     by re-feeding the already-processed prefix of the stream.
+//     SetReplay(n) swallows the first n final emissions during that
+//     rebuild — they were already delivered before the restart — so
+//     downstream sinks see each final loop exactly once.
+//   - Drain: graceful shutdown flushes the detector mid-stream. Loops
+//     forced out by the flush are emitted marked Truncated (their
+//     extent could still have grown) and do not advance the final
+//     sequence, so a later resume re-emits their completed form.
+//
+// A Session is not safe for concurrent use; the serve daemon gives
+// each source its own.
+type Session struct {
+	sd   *StreamDetector
+	emit func(SessionEvent)
+
+	suppress  int
+	finals    int
+	records   int64
+	highWater time.Duration
+	draining  bool
+	drained   bool
+}
+
+// NewSession returns a Session over a fresh StreamDetector. Every
+// emission — suppressed replays excepted — reaches emit synchronously
+// from inside Observe or Drain.
+func NewSession(cfg Config, emit func(SessionEvent)) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if emit == nil {
+		emit = func(SessionEvent) {}
+	}
+	s := &Session{emit: emit}
+	s.sd = NewStreamDetector(cfg, s.onLoop)
+	return s, nil
+}
+
+// onLoop routes StreamDetector emissions through the replay/drain
+// bookkeeping.
+func (s *Session) onLoop(l *Loop) {
+	if s.draining {
+		s.emit(SessionEvent{Loop: l, Seq: -1, Truncated: true})
+		return
+	}
+	seq := s.finals
+	s.finals++
+	if s.suppress > 0 {
+		s.suppress--
+		return
+	}
+	s.emit(SessionEvent{Loop: l, Seq: seq})
+}
+
+// SetReplay arms suppression of the next n final emissions. Call it
+// once, before the first Observe, with the emitted count a checkpoint
+// recorded; feeding the checkpointed record prefix then rebuilds
+// detector state silently.
+func (s *Session) SetReplay(n int) {
+	if n > 0 {
+		s.suppress = n
+	}
+}
+
+// Replaying reports whether suppressed emissions are still pending —
+// true until the replayed prefix has caught up with every loop the
+// previous incarnation delivered.
+func (s *Session) Replaying() bool { return s.suppress > 0 }
+
+// Observe feeds the next record; records must arrive in non-decreasing
+// time order. Observe must not be called after Drain.
+func (s *Session) Observe(rec trace.Record) {
+	if s.drained {
+		panic("core: Session.Observe after Drain")
+	}
+	s.records++
+	if rec.Time > s.highWater {
+		s.highWater = rec.Time
+	}
+	s.sd.Observe(rec)
+}
+
+// Records returns the number of records observed.
+func (s *Session) Records() int64 { return s.records }
+
+// HighWater returns the largest record timestamp observed — the
+// detector's position on the trace clock.
+func (s *Session) HighWater() time.Duration { return s.highWater }
+
+// Emitted returns the number of final loop emissions so far, counting
+// suppressed replays: it is the value a checkpoint stores and a
+// restart passes to SetReplay.
+func (s *Session) Emitted() int { return s.finals }
+
+// Drain flushes all remaining detector state. Loops forced out are
+// emitted with Truncated set and do not count toward Emitted. The
+// session is dead afterwards; it returns the run's statistics.
+func (s *Session) Drain() StreamStats {
+	if s.drained {
+		return StreamStats{}
+	}
+	s.draining = true
+	s.drained = true
+	return s.sd.FinishStats()
+}
+
+// Complete finishes the stream normally: the source reported a genuine
+// end (a feed connection closed after its writer finished), so the
+// flushed loops are complete evidence and are emitted as finals,
+// continuing the sequence. The session is dead afterwards.
+func (s *Session) Complete() StreamStats {
+	if s.drained {
+		return StreamStats{}
+	}
+	s.drained = true
+	return s.sd.FinishStats()
+}

@@ -309,11 +309,30 @@ func (ps *prefixState) subnetCleanS(from, to time.Duration) bool {
 }
 
 // advanceAll makes progress on validation, folding and emission for
-// every prefix with state, then evicts unreachable entries.
+// every prefix with state, then evicts unreachable entries. Prefixes
+// are visited in address order, never map order: emission order must
+// be a pure function of the record sequence so that a resumed run can
+// suppress replayed emissions by count (core.Session.SetReplay).
 func (d *StreamDetector) advanceAll() {
-	for pfx, ps := range d.byPrefix {
-		d.advance(pfx, ps, false)
+	pfxs := make([]routing.Prefix, 0, len(d.byPrefix))
+	for p := range d.byPrefix {
+		pfxs = append(pfxs, p)
 	}
+	sortPrefixes(pfxs)
+	for _, p := range pfxs {
+		d.advance(p, d.byPrefix[p], false)
+	}
+}
+
+// sortPrefixes orders prefixes by address then width — the canonical
+// traversal order shared by the periodic sweep and the final flush.
+func sortPrefixes(pfxs []routing.Prefix) {
+	sort.Slice(pfxs, func(i, j int) bool {
+		if pfxs[i].Addr != pfxs[j].Addr {
+			return pfxs[i].Addr.Uint32() < pfxs[j].Addr.Uint32()
+		}
+		return pfxs[i].Bits < pfxs[j].Bits
+	})
 }
 
 func (d *StreamDetector) advance(pfx routing.Prefix, ps *prefixState, final bool) {
@@ -482,12 +501,7 @@ func (d *StreamDetector) FinishStats() StreamStats {
 	for p := range d.byPrefix {
 		pfxs = append(pfxs, p)
 	}
-	sort.Slice(pfxs, func(i, j int) bool {
-		if pfxs[i].Addr != pfxs[j].Addr {
-			return pfxs[i].Addr.Uint32() < pfxs[j].Addr.Uint32()
-		}
-		return pfxs[i].Bits < pfxs[j].Bits
-	})
+	sortPrefixes(pfxs)
 	for _, p := range pfxs {
 		d.advance(p, d.byPrefix[p], true)
 	}

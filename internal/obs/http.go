@@ -47,6 +47,13 @@ type Server struct {
 // beyond the local host requires naming an interface explicitly
 // (e.g. "0.0.0.0:9090").
 func StartServer(addr string, r *Registry) (*Server, error) {
+	return StartHandler(addr, r.Handler())
+}
+
+// StartHandler is StartServer for an arbitrary handler: embedding
+// programs (the serve daemon) mount their own API next to the metrics
+// endpoints and serve both under the same loopback-defaulted policy.
+func StartHandler(addr string, h http.Handler) (*Server, error) {
 	if strings.HasPrefix(addr, ":") {
 		addr = "127.0.0.1" + addr
 	}
@@ -54,7 +61,7 @@ func StartServer(addr string, r *Registry) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: r.Handler()}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -32,11 +32,34 @@ const (
 	MetricBackpressureEvents = "loopscope_detect_backpressure_events_total"
 	MetricEngineWorkers      = "loopscope_engine_workers"
 	MetricEngineBuilds       = "loopscope_engine_builds_total"
+
+	// Continuous serving (internal/serve). Per-source series carry a
+	// source label, per-sink series a sink label; build names with
+	// LabelMetric.
+	MetricServeSourceRecords   = "loopscope_serve_source_records_total"
+	MetricServeSourceLagBytes  = "loopscope_serve_source_lag_bytes"
+	MetricServeSourceRate      = "loopscope_serve_source_records_per_s"
+	MetricServeSourceRestarts  = "loopscope_serve_source_restarts_total"
+	MetricServeEventsFinal     = "loopscope_serve_events_final_total"
+	MetricServeEventsTruncated = "loopscope_serve_events_truncated_total"
+	MetricServeSinkQueueDepth  = "loopscope_serve_sink_queue_depth"
+	MetricServeSinkDelivered   = "loopscope_serve_sink_delivered_total"
+	MetricServeSinkDropped     = "loopscope_serve_sink_dropped_total"
+	MetricServeSinkRetries     = "loopscope_serve_sink_retries_total"
+	MetricServeJournalDup      = "loopscope_serve_journal_duplicates_total"
+	MetricServeCheckpoints     = "loopscope_serve_checkpoints_total"
 )
 
 // ShardMetric returns the per-shard series name for a shard-labelled
 // metric family, e.g. ShardMetric(MetricShardRecords, 3) =
 // `loopscope_detect_shard_records_total{shard="3"}`.
 func ShardMetric(family string, shard int) string {
-	return fmt.Sprintf("%s{shard=%q}", family, fmt.Sprint(shard))
+	return LabelMetric(family, "shard", fmt.Sprint(shard))
+}
+
+// LabelMetric returns the labelled series name for a metric family,
+// e.g. LabelMetric(MetricServeSourceRecords, "source", "backbone1") =
+// `loopscope_serve_source_records_total{source="backbone1"}`.
+func LabelMetric(family, key, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", family, key, value)
 }

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// checkpointVersion is the on-disk format version this build writes
+// and the only one it accepts.
+const checkpointVersion = 1
+
+// Checkpoint is the daemon's periodically persisted position: for
+// every source, how far into the stream the detector has advanced and
+// how many final events were already delivered. It is written
+// atomically (temp file + rename), so a crash leaves either the old or
+// the new checkpoint, never a torn one.
+//
+// The invariant that makes resume exact: a source entry (Records,
+// Emitted) is only ever captured at a moment when the first Emitted
+// final events were already durably published, so a restart that
+// replays Records records while suppressing Emitted emissions delivers
+// each final event at least once overall and — behind the journal's ID
+// dedup — exactly once.
+type Checkpoint struct {
+	Version   int    `json:"version"`
+	SavedAtNs int64  `json:"savedAtNs"`
+	Host      string `json:"host,omitempty"`
+
+	Sources map[string]SourceCheckpoint `json:"sources"`
+}
+
+// SourceCheckpoint is one source's resume position.
+type SourceCheckpoint struct {
+	// Kind is the source type: "tail", "dir" or "feed".
+	Kind string `json:"kind"`
+	// Path is the tailed file or watched directory.
+	Path string `json:"path,omitempty"`
+	// File is the segment currently being consumed (dir sources).
+	File string `json:"file,omitempty"`
+	// FileID identifies the tailed file (dev:inode) so a resume can
+	// tell whether the path still names the file this entry describes.
+	FileID string `json:"fileId,omitempty"`
+	// Records is the number of records fully consumed from the
+	// current file.
+	Records int64 `json:"records"`
+	// Offset is the byte offset those records end at (sanity check
+	// during replay).
+	Offset int64 `json:"offset"`
+	// Emitted is the number of final loop events delivered.
+	Emitted int `json:"emitted"`
+	// HighWaterNs is the detector's position on the trace clock.
+	HighWaterNs int64 `json:"highWaterNs"`
+	// TimeBaseNs is the rebasing offset applied to the current
+	// segment's record times (dir sources stitch segments into one
+	// monotonic clock).
+	TimeBaseNs int64 `json:"timeBaseNs,omitempty"`
+}
+
+// validKinds is the closed set of source kinds a checkpoint may name.
+var validKinds = map[string]bool{"tail": true, "dir": true, "feed": true}
+
+// DecodeCheckpoint parses and validates a checkpoint image. It is
+// deliberately strict — unknown fields, wrong version, negative
+// positions, unknown source kinds and trailing garbage are all
+// rejected — because resuming from a corrupt checkpoint would silently
+// re-emit or skip loop events. A rejected checkpoint makes the daemon
+// start fresh, which is always safe (the journal still deduplicates).
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Checkpoint
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	// Reject trailing garbage after the JSON document.
+	if dec.More() {
+		return nil, errors.New("serve: checkpoint: trailing data after document")
+	}
+	if c.Version != checkpointVersion {
+		return nil, fmt.Errorf("serve: checkpoint: unsupported version %d", c.Version)
+	}
+	if c.SavedAtNs < 0 {
+		return nil, errors.New("serve: checkpoint: negative save time")
+	}
+	for name, s := range c.Sources {
+		if name == "" {
+			return nil, errors.New("serve: checkpoint: empty source name")
+		}
+		if !validKinds[s.Kind] {
+			return nil, fmt.Errorf("serve: checkpoint: source %q has unknown kind %q", name, s.Kind)
+		}
+		if s.Records < 0 || s.Offset < 0 || s.Emitted < 0 || s.HighWaterNs < 0 || s.TimeBaseNs < 0 {
+			return nil, fmt.Errorf("serve: checkpoint: source %q has negative position", name)
+		}
+		if s.Records > 0 && s.Offset == 0 && s.Kind != "feed" {
+			return nil, fmt.Errorf("serve: checkpoint: source %q consumed %d records at offset 0", name, s.Records)
+		}
+	}
+	return &c, nil
+}
+
+// LoadCheckpoint reads and validates the checkpoint at path. A missing
+// file is not an error: it returns (nil, nil), meaning "start fresh".
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCheckpoint(data)
+}
+
+// Save writes the checkpoint atomically: marshal, write to a temp file
+// in the same directory, fsync, rename over path.
+func (c *Checkpoint) Save(path string) error {
+	c.Version = checkpointVersion
+	c.SavedAtNs = time.Now().UnixNano()
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,109 @@
+// Package serve is loopscope's continuous-operation subsystem: a
+// supervised daemon core that follows live trace sources (growing
+// files, rotated capture directories, record feeds over TCP/unix
+// sockets), drives the bounded-memory detection engine per source, and
+// publishes finalized loop events to pluggable sinks — an append-only
+// JSONL journal, a webhook POST sink, and an in-memory ring behind an
+// HTTP API. A periodic checkpoint makes restarts resume without
+// re-emitting, and SIGTERM-style shutdown drains the detectors,
+// flushing partial loops marked truncated.
+//
+// Delivery semantics: the pipeline is at-least-once end to end — after
+// a crash, events emitted between the last checkpoint and the crash
+// are re-emitted on resume. The journal deduplicates by event ID, so
+// it is exactly-once; the webhook sink can deliver duplicates and
+// receivers must treat the event ID as idempotency key.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"loopscope/internal/core"
+)
+
+// Event is one routing-loop detection, the unit every sink consumes.
+// Durations and timestamps are nanoseconds; Start/End are on the trace
+// clock (offset from capture start), EmittedAt on the wall clock.
+type Event struct {
+	// ID is deterministic over (source, prefix, loop start): the same
+	// loop gets the same ID whether it is emitted live, after a
+	// checkpoint resume, or by an uninterrupted run — which is what
+	// lets the journal deduplicate and downstream consumers treat
+	// redelivery as idempotent. Truncated emissions carry a distinct
+	// ID (suffix "-t<end>") so a drain-flushed partial loop never
+	// masks the completed loop a resumed run emits later.
+	ID     string `json:"id"`
+	Source string `json:"source"`
+	Link   string `json:"link,omitempty"`
+	Prefix string `json:"prefix"`
+	// Seq is the emission sequence number within the source (-1 for
+	// truncated emissions).
+	Seq         int   `json:"seq"`
+	StartNs     int64 `json:"startNs"`
+	EndNs       int64 `json:"endNs"`
+	DurationNs  int64 `json:"durationNs"`
+	Streams     int   `json:"streams"`
+	Replicas    int   `json:"replicas"`
+	TTLDelta    int   `json:"ttlDelta"`
+	Truncated   bool  `json:"truncated,omitempty"`
+	EmittedAtNs int64 `json:"emittedAtNs"`
+}
+
+// newEvent renders a session emission as a sink event.
+func newEvent(source, link string, se core.SessionEvent, now time.Time) Event {
+	l := se.Loop
+	ev := Event{
+		Source:      source,
+		Link:        link,
+		Prefix:      l.Prefix.String(),
+		Seq:         se.Seq,
+		StartNs:     int64(l.Start),
+		EndNs:       int64(l.End),
+		DurationNs:  int64(l.End - l.Start),
+		Streams:     len(l.Streams),
+		Replicas:    l.Replicas(),
+		Truncated:   se.Truncated,
+		EmittedAtNs: now.UnixNano(),
+	}
+	if len(l.Streams) > 0 {
+		ev.TTLDelta = l.Streams[0].TTLDelta()
+	}
+	ev.ID = eventID(source, ev.Prefix, ev.StartNs)
+	if se.Truncated {
+		ev.ID = fmt.Sprintf("%s-t%x", ev.ID, ev.EndNs)
+	}
+	return ev
+}
+
+// eventID hashes the loop's stable identity to a compact hex token.
+func eventID(source, prefix string, startNs int64) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	mix(source)
+	mix(prefix)
+	mix(fmt.Sprintf("%d", startNs))
+	return fmt.Sprintf("%016x", h)
+}
+
+// Sink consumes loop events. Publish must be safe for concurrent use
+// and must never block detection for long: sinks with slow backends
+// queue internally and drop (counted) when the queue is full. Close
+// drains whatever is queued, giving up when ctx expires.
+type Sink interface {
+	Name() string
+	Publish(Event)
+	Close(ctx context.Context) error
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Handler returns the daemon's HTTP API, with the obs registry's
+// endpoints (/metrics, /debug/vars, /debug/pprof) mounted alongside it
+// when a registry is configured:
+//
+//	/healthz        liveness: 200 + JSON status
+//	/api/loops      recent loop events, newest first (?n=, ?source=)
+//	/api/sources    per-source status
+//
+// Serve it with obs.StartHandler for the loopback-by-default policy.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	mux.HandleFunc("/api/loops", d.handleLoops)
+	mux.HandleFunc("/api/sources", d.handleSources)
+	if d.cfg.Metrics != nil {
+		mux.Handle("/", d.cfg.Metrics.Handler())
+	}
+	return mux
+}
+
+// handleHealthz reports liveness and coarse progress.
+func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	var records int64
+	for _, s := range d.sources {
+		s.mu.Lock()
+		records += s.cp.Records
+		s.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"uptimeS": int64(time.Since(d.started).Seconds()),
+		"sources": len(d.sources),
+		"records": records,
+		"events":  d.ring.Total(),
+	})
+}
+
+// handleLoops returns the most recent loop events, newest first.
+func (d *Daemon) handleLoops(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	events := d.ring.Latest(n)
+	if src := r.URL.Query().Get("source"); src != "" {
+		filtered := events[:0]
+		for _, e := range events {
+			if e.Source == src {
+				filtered = append(filtered, e)
+			}
+		}
+		events = filtered
+	}
+	if events == nil {
+		events = []Event{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  d.ring.Total(),
+		"events": events,
+	})
+}
+
+// handleSources returns every source's live status, sorted by name.
+func (d *Daemon) handleSources(w http.ResponseWriter, _ *http.Request) {
+	infos := make([]SourceInfo, 0, len(d.sources))
+	for _, s := range d.sources {
+		infos = append(infos, s.info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"sources": infos})
+}
+
+// writeJSON renders one API response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"loopscope/internal/obs"
+)
+
+// JournalOptions configures NewJournal.
+type JournalOptions struct {
+	// Path is the JSONL file events append to.
+	Path string
+	// MaxBytes rotates the file once it would exceed this size
+	// (<= 0: never rotate).
+	MaxBytes int64
+	// Keep is how many rotated files to retain (path.1 .. path.Keep);
+	// <= 0 selects 3.
+	Keep int
+	// Metrics receives the delivered/duplicate counters (may be nil).
+	Metrics *obs.Registry
+}
+
+// Journal is the append-only JSONL event sink — the daemon's durable
+// record of every loop it has reported. One JSON object per line.
+//
+// The journal is the exactly-once edge of the at-least-once pipeline:
+// on open it scans the existing file (and rotated generations) for
+// event IDs, and Publish drops events whose ID it has already written.
+// A daemon restarted from a checkpoint therefore never duplicates a
+// line no matter where the crash fell relative to the checkpoint.
+//
+// Writes go straight to the file descriptor (no userspace buffer), so
+// an event survives the process dying the instant Publish returns; an
+// OS crash can still lose the tail, which checkpoint resume turns into
+// re-emission, not loss.
+type Journal struct {
+	opts JournalOptions
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+	seen map[string]struct{}
+
+	delivered *obs.Counter
+	dups      *obs.Counter
+}
+
+// NewJournal opens (creating if needed) the journal at opts.Path and
+// loads the dedup index from the existing file and its rotated
+// generations.
+func NewJournal(opts JournalOptions) (*Journal, error) {
+	if opts.Keep <= 0 {
+		opts.Keep = 3
+	}
+	j := &Journal{
+		opts:      opts,
+		seen:      make(map[string]struct{}),
+		delivered: opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDelivered, "sink", "journal")),
+		dups:      opts.Metrics.Counter(obs.MetricServeJournalDup),
+	}
+	// Oldest generation first so the live file wins any (impossible,
+	// but cheap to honor) conflicts.
+	for i := opts.Keep; i >= 1; i-- {
+		j.loadSeen(fmt.Sprintf("%s.%d", opts.Path, i))
+	}
+	j.loadSeen(opts.Path)
+	f, err := os.OpenFile(opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.f, j.size = f, st.Size()
+	return j, nil
+}
+
+// loadSeen indexes the event IDs of an existing journal file; a
+// missing or partially unreadable file contributes what it can.
+func (j *Journal) loadSeen(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var line struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil || line.ID == "" {
+			continue // torn tail line from a crash mid-write
+		}
+		j.seen[line.ID] = struct{}{}
+	}
+}
+
+// Name implements Sink.
+func (j *Journal) Name() string { return "journal" }
+
+// Publish implements Sink: append the event as one JSON line, unless
+// its ID was already journaled.
+func (j *Journal) Publish(e Event) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.seen[e.ID]; dup {
+		j.dups.Inc()
+		return
+	}
+	if j.opts.MaxBytes > 0 && j.size > 0 && j.size+int64(len(data)) > j.opts.MaxBytes {
+		j.rotateLocked()
+	}
+	if j.f == nil {
+		return
+	}
+	if _, err := j.f.Write(data); err != nil {
+		return
+	}
+	j.size += int64(len(data))
+	j.seen[e.ID] = struct{}{}
+	j.delivered.Inc()
+}
+
+// rotateLocked shifts path.i -> path.(i+1), path -> path.1 and reopens
+// a fresh file. The dedup index spans generations, so rotation never
+// forgets an ID.
+func (j *Journal) rotateLocked() {
+	j.f.Close()
+	os.Remove(fmt.Sprintf("%s.%d", j.opts.Path, j.opts.Keep))
+	for i := j.opts.Keep - 1; i >= 1; i-- {
+		os.Rename(fmt.Sprintf("%s.%d", j.opts.Path, i), fmt.Sprintf("%s.%d", j.opts.Path, i+1))
+	}
+	os.Rename(j.opts.Path, j.opts.Path+".1")
+	f, err := os.OpenFile(j.opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.f = nil
+		return
+	}
+	j.f, j.size = f, 0
+}
+
+// Close implements Sink. Nothing is queued — Publish writes through —
+// so Close just releases the file.
+func (j *Journal) Close(context.Context) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// Ring is the in-memory sink behind the HTTP API: a fixed-capacity
+// ring of the most recent events. Publish never blocks and never
+// fails; old events fall off the back.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRing returns a ring holding the latest size events (minimum 1).
+func NewRing(size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring{buf: make([]Event, 0, size)}
+}
+
+// Name implements Sink.
+func (r *Ring) Name() string { return "ring" }
+
+// Publish implements Sink.
+func (r *Ring) Publish(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// Close implements Sink; the ring has nothing to drain.
+func (r *Ring) Close(context.Context) error { return nil }
+
+// Total returns the number of events ever published.
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Latest returns up to n events, newest first. n <= 0 returns all
+// retained events.
+func (r *Ring) Latest(n int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := len(r.buf)
+	if size == 0 {
+		return nil
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Event, 0, n)
+	// Walk backwards from the most recently written slot.
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + 2*size) % size
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

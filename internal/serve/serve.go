@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"loopscope/internal/core"
+	"loopscope/internal/obs"
+)
+
+// Config configures a Daemon.
+type Config struct {
+	// Detector is the core detection configuration every source's
+	// session runs with.
+	Detector core.Config
+	// CheckpointPath, when set, enables periodic atomic checkpoints
+	// and resume-on-start.
+	CheckpointPath string
+	// CheckpointInterval is the checkpoint period (<= 0: 1s).
+	CheckpointInterval time.Duration
+	// DrainTimeout bounds graceful shutdown: detector flush, final
+	// checkpoint and sink draining must finish within it (<= 0: 5s).
+	DrainTimeout time.Duration
+	// ExitIdle, when positive, stops the daemon gracefully once every
+	// source has been idle (no new data) for this long. Zero runs
+	// forever. It exists for batch-ish deployments and tests.
+	ExitIdle time.Duration
+	// TailPoll is the poll interval for file-backed sources (<= 0:
+	// trace.TailOptions' 200ms default).
+	TailPoll time.Duration
+	// DirGlob filters directory-source segment filenames (shell
+	// pattern; empty matches everything).
+	DirGlob string
+	// RingSize is the capacity of the in-memory event ring behind
+	// /api/loops (<= 0: 1024).
+	RingSize int
+	// Metrics receives the daemon's gauges and counters (may be nil).
+	Metrics *obs.Registry
+	// Logf logs operational events (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// Daemon is the continuous-operation core: sources in, detection in
+// the middle, sinks out, with checkpointed resume and graceful drain.
+// Wire it up (AddTailSource / AddDirSource / AddFeedSource, AddSink),
+// then Run it; cmd/loopscoped is a thin flag-parsing shell around
+// exactly that sequence.
+type Daemon struct {
+	cfg     Config
+	ring    *Ring
+	sinks   []Sink
+	sources []*sourceState
+	cp      *Checkpoint
+
+	started time.Time
+	cpC     *obs.Counter
+
+	idleMu   sync.Mutex
+	fatalErr error
+	stopOnce sync.Once
+	stopped  chan struct{}
+
+	// testCrash, when set by a test, is consulted after every observed
+	// record; returning true makes the daemon die abruptly (no drain,
+	// no final checkpoint), simulating SIGKILL in-process.
+	testCrash func(source string, records int64) bool
+}
+
+// New builds a Daemon and, when cfg.CheckpointPath is set, loads the
+// previous incarnation's checkpoint. A corrupt checkpoint is an error
+// the operator should see, not silently ignore — delete the file to
+// force a fresh start (which is always safe; the journal deduplicates).
+func New(cfg Config) (*Daemon, error) {
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 1024
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		ring:    NewRing(cfg.RingSize),
+		stopped: make(chan struct{}),
+		cpC:     cfg.Metrics.Counter(obs.MetricServeCheckpoints),
+	}
+	if cfg.CheckpointPath != "" {
+		cp, err := LoadCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading checkpoint: %w", err)
+		}
+		d.cp = cp
+	}
+	return d, nil
+}
+
+// logf logs through cfg.Logf when set.
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// AddSink attaches a sink; every event from every source reaches it.
+// The internal ring (the HTTP API's backing store) is always attached.
+func (d *Daemon) AddSink(s Sink) { d.sinks = append(d.sinks, s) }
+
+// publish fans one event out to the ring and every sink.
+func (d *Daemon) publish(e Event) {
+	d.ring.Publish(e)
+	for _, s := range d.sinks {
+		s.Publish(e)
+	}
+}
+
+// addSource registers a source, restoring its checkpoint entry if the
+// previous incarnation had one of the same name and kind.
+func (d *Daemon) addSource(s *sourceState) {
+	if d.cp != nil {
+		if cp, ok := d.cp.Sources[s.name]; ok && cp.Kind == s.kind {
+			s.cp = cp
+		}
+	}
+	d.sources = append(d.sources, s)
+}
+
+// AddTailSource follows a growing native trace file at path.
+func (d *Daemon) AddTailSource(name, path string) error {
+	if err := d.checkName(name); err != nil {
+		return err
+	}
+	s := d.newSourceState(name, "tail", path)
+	s.run = s.runTail
+	d.addSource(s)
+	return nil
+}
+
+// AddDirSource processes a rotated-capture directory: segments are
+// consumed in lexical filename order as they appear, the newest one
+// followed live.
+func (d *Daemon) AddDirSource(name, dir string) error {
+	if err := d.checkName(name); err != nil {
+		return err
+	}
+	if st, err := os.Stat(dir); err != nil {
+		return err
+	} else if !st.IsDir() {
+		return fmt.Errorf("serve: %s is not a directory", dir)
+	}
+	s := d.newSourceState(name, "dir", dir)
+	s.run = s.runDir
+	d.addSource(s)
+	return nil
+}
+
+// AddFeedSource listens on network/addr ("tcp", "127.0.0.1:4444" or
+// "unix", "/run/loopscope.sock") for native trace streams. The
+// listener is created eagerly so callers (and tests binding port 0)
+// learn the bound address before Run.
+func (d *Daemon) AddFeedSource(name, network, addr string) (net.Addr, error) {
+	if err := d.checkName(name); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	s := d.newSourceState(name, "feed", addr)
+	s.listener = ln
+	s.run = s.runFeed
+	d.addSource(s)
+	return ln.Addr(), nil
+}
+
+// checkName rejects duplicate or empty source names; the name is the
+// event-ID namespace and the checkpoint key, so it must be unique.
+func (d *Daemon) checkName(name string) error {
+	if name == "" {
+		return errors.New("serve: empty source name")
+	}
+	for _, s := range d.sources {
+		if s.name == name {
+			return fmt.Errorf("serve: duplicate source name %q", name)
+		}
+	}
+	return nil
+}
+
+// sourceIdle is called by a source that has seen no data for ExitIdle;
+// when every source is idle the daemon stops gracefully.
+func (d *Daemon) sourceIdle() {
+	if d.cfg.ExitIdle <= 0 {
+		return
+	}
+	d.idleMu.Lock()
+	all := true
+	for _, s := range d.sources {
+		s.mu.Lock()
+		idle := s.idle
+		s.mu.Unlock()
+		if !idle {
+			all = false
+			break
+		}
+	}
+	d.idleMu.Unlock()
+	if all {
+		d.logf("all sources idle for %v; stopping", d.cfg.ExitIdle)
+		d.stop(nil)
+	}
+}
+
+// fail stops the daemon abruptly with err (test crash path).
+func (d *Daemon) fail(err error) { d.stop(err) }
+
+// stop triggers Run's shutdown exactly once.
+func (d *Daemon) stop(err error) {
+	d.stopOnce.Do(func() {
+		d.fatalErr = err
+		close(d.stopped)
+	})
+}
+
+// checkpoint snapshots every source's position and writes it
+// atomically. Positions are maintained under each source's mutex after
+// publication, so the snapshot never claims an event the journal does
+// not hold.
+func (d *Daemon) checkpoint() error {
+	if d.cfg.CheckpointPath == "" {
+		return nil
+	}
+	cp := &Checkpoint{Sources: make(map[string]SourceCheckpoint, len(d.sources))}
+	if host, err := os.Hostname(); err == nil {
+		cp.Host = host
+	}
+	for _, s := range d.sources {
+		cp.Sources[s.name] = s.snapshot()
+	}
+	if err := cp.Save(d.cfg.CheckpointPath); err != nil {
+		return err
+	}
+	d.cpC.Inc()
+	return nil
+}
+
+// Run starts every source under supervision and blocks until ctx is
+// cancelled (SIGTERM in cmd/loopscoped), every source goes idle past
+// ExitIdle, or a test-injected crash. Orderly shutdown then: stop the
+// runners, drain every session (open loops flushed as truncated
+// events), write the final checkpoint, and close the sinks, all within
+// DrainTimeout.
+func (d *Daemon) Run(ctx context.Context) error {
+	if len(d.sources) == 0 {
+		return errors.New("serve: no sources configured")
+	}
+	d.started = time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for _, s := range d.sources {
+		wg.Add(1)
+		go func(s *sourceState) {
+			defer wg.Done()
+			d.supervise(runCtx, s)
+		}(s)
+	}
+
+	ticker := time.NewTicker(d.cfg.CheckpointInterval)
+	defer ticker.Stop()
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-d.stopped:
+			break loop
+		case <-ticker.C:
+			if err := d.checkpoint(); err != nil {
+				d.logf("checkpoint: %v", err)
+			}
+		}
+	}
+
+	cancel()
+	if d.fatalErr != nil {
+		// Abrupt death (test crash): no drain, no final checkpoint —
+		// exactly what SIGKILL leaves behind.
+		wg.Wait()
+		return d.fatalErr
+	}
+
+	// Graceful drain under the deadline.
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
+	defer drainCancel()
+
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-drainCtx.Done():
+		d.logf("drain: source runners did not stop within %v", d.cfg.DrainTimeout)
+	}
+
+	for _, s := range d.sources {
+		s.drain()
+	}
+	if err := d.checkpoint(); err != nil {
+		d.logf("final checkpoint: %v", err)
+	}
+	var firstErr error
+	for _, s := range d.sinks {
+		if err := s.Close(drainCtx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("serve: closing sink %s: %w", s.Name(), err)
+		}
+	}
+	for _, s := range d.sources {
+		if s.listener != nil {
+			s.listener.Close()
+		}
+	}
+	return firstErr
+}

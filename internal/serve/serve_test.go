@@ -1,0 +1,544 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"loopscope/internal/core"
+	"loopscope/internal/routing"
+	"loopscope/internal/stats"
+	"loopscope/internal/trace"
+	"loopscope/internal/traffic"
+)
+
+// serveTestTrace synthesizes a trace with scripted loops (shorter than
+// the core tests' traces: the daemon tests run several incarnations).
+func serveTestTrace(t *testing.T, seed uint64, loops int) []trace.Record {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	var dests []routing.Prefix
+	for i := 0; i < 16; i++ {
+		dests = append(dests, routing.MustParsePrefix(fmt.Sprintf("198.18.%d.0/24", i)))
+	}
+	cfg := traffic.SynthConfig{
+		Duration: 40 * time.Second, PacketsPerSecond: 600,
+		Mix: traffic.DefaultMix(), DestPrefixes: dests,
+		HopsMin: 3, HopsMax: 9,
+	}
+	for i := 0; i < loops; i++ {
+		cfg.Loops = append(cfg.Loops, traffic.LoopSpec{
+			Prefix:     dests[rng.Intn(len(dests))],
+			Start:      time.Duration(rng.Int63n(int64(30 * time.Second))),
+			Duration:   time.Duration(300+rng.Intn(3000)) * time.Millisecond,
+			TTLDelta:   2 + rng.Intn(3),
+			Revolution: time.Duration(2000+rng.Intn(4000)) * time.Microsecond,
+		})
+	}
+	return traffic.Synthesize(cfg, rng)
+}
+
+// writeTraceFile writes recs as a native trace file.
+func writeTraceFile(t *testing.T, path string, meta trace.Meta, recs []trace.Record) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testMeta is the capture metadata the daemon tests write with.
+func testMeta() trace.Meta {
+	return trace.Meta{Link: "testlink", Start: time.Unix(1700000000, 0), SnapLen: trace.DefaultSnapLen}
+}
+
+// journalEvents parses every line of a journal file.
+func journalEvents(t *testing.T, path string) []Event {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Event
+	for _, line := range splitLines(data) {
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// finalIDSet returns the set of non-truncated event IDs, failing on any
+// duplicate line (truncated included: the journal must never hold the
+// same ID twice).
+func finalIDSet(t *testing.T, events []Event) map[string]bool {
+	t.Helper()
+	all := map[string]bool{}
+	finals := map[string]bool{}
+	for _, e := range events {
+		if all[e.ID] {
+			t.Fatalf("duplicate id %s in journal", e.ID)
+		}
+		all[e.ID] = true
+		if !e.Truncated {
+			finals[e.ID] = true
+		}
+	}
+	return finals
+}
+
+// newTestDaemon builds a daemon with a journal sink and fast intervals.
+func newTestDaemon(t *testing.T, journalPath, cpPath string) *Daemon {
+	t.Helper()
+	d, err := New(Config{
+		Detector:           core.DefaultConfig(),
+		CheckpointPath:     cpPath,
+		CheckpointInterval: 10 * time.Millisecond,
+		DrainTimeout:       5 * time.Second,
+		ExitIdle:           250 * time.Millisecond,
+		TailPoll:           2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJournal(JournalOptions{Path: journalPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AddSink(j)
+	return d
+}
+
+// TestDaemonKillRestartEquivalence is the PR's acceptance criterion: a
+// daemon killed mid-trace (abrupt, no drain, no final checkpoint) and
+// restarted from its checkpoint must end up with exactly the
+// uninterrupted run's final loop events in its journal — same ID set,
+// zero duplicates.
+func TestDaemonKillRestartEquivalence(t *testing.T) {
+	recs := serveTestTrace(t, 7, 10)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "capture.lspt")
+	writeTraceFile(t, tracePath, testMeta(), recs)
+
+	ctx := context.Background()
+
+	// Reference: one uninterrupted run over the whole file.
+	refJournal := filepath.Join(dir, "ref.jsonl")
+	ref := newTestDaemon(t, refJournal, filepath.Join(dir, "ref-cp.json"))
+	if err := ref.AddTailSource("src", tracePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(ctx); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refFinals := finalIDSet(t, journalEvents(t, refJournal))
+	if len(refFinals) == 0 {
+		t.Fatal("reference run journaled no final loops; trace too quiet")
+	}
+
+	for _, frac := range []float64{0.3, 0.6} {
+		frac := frac
+		t.Run(fmt.Sprintf("kill-at-%d%%", int(frac*100)), func(t *testing.T) {
+			sub := t.TempDir()
+			journal := filepath.Join(sub, "loops.jsonl")
+			cpPath := filepath.Join(sub, "cp.json")
+			killAt := int64(float64(len(recs)) * frac)
+
+			// First incarnation: dies abruptly mid-file.
+			d1 := newTestDaemon(t, journal, cpPath)
+			d1.testCrash = func(_ string, n int64) bool { return n >= killAt }
+			if err := d1.AddTailSource("src", tracePath); err != nil {
+				t.Fatal(err)
+			}
+			if err := d1.Run(ctx); !errors.Is(err, errTestCrash) {
+				t.Fatalf("crash run returned %v", err)
+			}
+			cp, err := LoadCheckpoint(cpPath)
+			if err != nil || cp == nil {
+				t.Fatalf("no checkpoint after crash: %v", err)
+			}
+			if cp.Sources["src"].Records == 0 {
+				t.Fatal("checkpoint recorded no progress")
+			}
+
+			// Second incarnation: resumes and finishes.
+			d2 := newTestDaemon(t, journal, cpPath)
+			if err := d2.AddTailSource("src", tracePath); err != nil {
+				t.Fatal(err)
+			}
+			if err := d2.Run(ctx); err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+
+			gotFinals := finalIDSet(t, journalEvents(t, journal))
+			if len(gotFinals) != len(refFinals) {
+				t.Fatalf("resumed journal has %d finals, reference %d", len(gotFinals), len(refFinals))
+			}
+			for id := range refFinals {
+				if !gotFinals[id] {
+					t.Fatalf("final %s missing from resumed journal", id)
+				}
+			}
+		})
+	}
+}
+
+// TestDaemonTailGrowingFile follows a file that grows while the daemon
+// runs: half the records exist at start, the rest are appended live.
+func TestDaemonTailGrowingFile(t *testing.T) {
+	recs := serveTestTrace(t, 13, 8)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "grow.lspt")
+	k := len(recs) / 2
+	writeTraceFile(t, tracePath, testMeta(), recs[:k])
+
+	journal := filepath.Join(dir, "loops.jsonl")
+	d := newTestDaemon(t, journal, filepath.Join(dir, "cp.json"))
+	if err := d.AddTailSource("src", tracePath); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- d.Run(context.Background()) }()
+
+	// Append the second half while the daemon is tailing. Records are
+	// framed by hand so the bytes append to the existing file.
+	time.Sleep(50 * time.Millisecond)
+	f, err := os.OpenFile(tracePath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[k:] {
+		var hdr [12]byte
+		putRecordHeader(hdr[:], r)
+		if _, err := f.Write(hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(r.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit on idle")
+	}
+
+	events := journalEvents(t, journal)
+	finals := finalIDSet(t, events)
+	if len(finals) == 0 {
+		t.Fatal("no finals journaled from the grown file")
+	}
+	// The grown file must match a single-shot run over the same records.
+	var want int
+	sess, err := core.NewSession(core.DefaultConfig(), func(e core.SessionEvent) {
+		if !e.Truncated {
+			want++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		sess.Observe(r)
+	}
+	if len(finals) != want {
+		t.Fatalf("daemon journaled %d finals, single-shot session %d", len(finals), want)
+	}
+}
+
+// putRecordHeader frames one native record header.
+func putRecordHeader(b []byte, r trace.Record) {
+	_ = b[11]
+	t := uint64(r.Time)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(t >> (56 - 8*i))
+	}
+	b[8], b[9] = byte(r.WireLen>>8), byte(r.WireLen)
+	b[10], b[11] = byte(len(r.Data)>>8), byte(len(r.Data))
+}
+
+// collectSink gathers published events in memory.
+type collectSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (c *collectSink) Name() string { return "collect" }
+func (c *collectSink) Publish(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+func (c *collectSink) Close(context.Context) error { return nil }
+func (c *collectSink) all() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// TestDaemonFeedSource streams a native trace over TCP; the clean
+// connection close completes the session, so the loops arrive as
+// finals.
+func TestDaemonFeedSource(t *testing.T) {
+	recs := serveTestTrace(t, 21, 6)
+
+	d, err := New(Config{
+		Detector: core.DefaultConfig(),
+		ExitIdle: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collectSink{}
+	d.AddSink(sink)
+	addr, err := d.AddFeedSource("feed", "tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- d.Run(context.Background()) }()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(conn, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit on idle")
+	}
+
+	finals := 0
+	for _, e := range sink.all() {
+		if e.Truncated {
+			t.Fatalf("feed session produced truncated event %s despite clean close", e.ID)
+		}
+		if e.Source != "feed" || e.Link != "testlink" {
+			t.Fatalf("bad event attribution: %+v", e)
+		}
+		finals++
+	}
+	if finals == 0 {
+		t.Fatal("no events from the feed")
+	}
+}
+
+// TestDaemonDirSource processes two rotated segments in order through
+// one stitched session.
+func TestDaemonDirSource(t *testing.T) {
+	recs := serveTestTrace(t, 5, 8)
+	dir := t.TempDir()
+	k := len(recs) / 2
+
+	meta1 := testMeta()
+	writeTraceFile(t, filepath.Join(dir, "seg-000.lspt"), meta1, recs[:k])
+	// Second segment: its record clock restarts at zero and its
+	// absolute start advances by the cut time.
+	cut := recs[k].Time
+	meta2 := meta1
+	meta2.Start = meta1.Start.Add(cut)
+	seg2 := make([]trace.Record, 0, len(recs)-k)
+	for _, r := range recs[k:] {
+		r.Time -= cut
+		seg2 = append(seg2, r)
+	}
+	writeTraceFile(t, filepath.Join(dir, "seg-001.lspt"), meta2, seg2)
+
+	journal := filepath.Join(dir+"-out", "loops.jsonl")
+	os.MkdirAll(filepath.Dir(journal), 0o755)
+	d := newTestDaemon(t, journal, filepath.Join(dir+"-out", "cp.json"))
+	if err := d.AddDirSource("dirsrc", dir); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.Run(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit on idle")
+	}
+
+	events := journalEvents(t, journal)
+	finals := finalIDSet(t, events)
+	if len(finals) == 0 {
+		t.Fatal("no finals from the segment directory")
+	}
+	// Stitching must match a single session over the original records.
+	var want int
+	sess, err := core.NewSession(core.DefaultConfig(), func(e core.SessionEvent) {
+		if !e.Truncated {
+			want++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		sess.Observe(r)
+	}
+	if len(finals) != want {
+		t.Fatalf("dir source journaled %d finals, single session %d", len(finals), want)
+	}
+}
+
+// TestDaemonHTTPAPI exercises /healthz, /api/loops and /api/sources.
+func TestDaemonHTTPAPI(t *testing.T) {
+	recs := serveTestTrace(t, 3, 6)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "capture.lspt")
+	writeTraceFile(t, tracePath, testMeta(), recs)
+
+	d := newTestDaemon(t, filepath.Join(dir, "loops.jsonl"), filepath.Join(dir, "cp.json"))
+	if err := d.AddTailSource("api-src", tracePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	var health struct {
+		Status  string `json:"status"`
+		Records int64  `json:"records"`
+	}
+	getJSON(t, srv.URL+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("healthz status %q", health.Status)
+	}
+	if health.Records != int64(len(recs)) {
+		t.Fatalf("healthz records %d, want %d", health.Records, len(recs))
+	}
+
+	var loops struct {
+		Total  int64   `json:"total"`
+		Events []Event `json:"events"`
+	}
+	getJSON(t, srv.URL+"/api/loops?n=5", &loops)
+	if loops.Total == 0 || len(loops.Events) == 0 {
+		t.Fatal("no loops in the API")
+	}
+	if len(loops.Events) > 5 {
+		t.Fatalf("n=5 returned %d events", len(loops.Events))
+	}
+	for i := 1; i < len(loops.Events); i++ {
+		if loops.Events[i-1].EmittedAtNs < loops.Events[i].EmittedAtNs {
+			t.Fatal("events not newest-first")
+		}
+	}
+
+	var sources struct {
+		Sources []SourceInfo `json:"sources"`
+	}
+	getJSON(t, srv.URL+"/api/sources", &sources)
+	if len(sources.Sources) != 1 || sources.Sources[0].Name != "api-src" {
+		t.Fatalf("bad sources payload: %+v", sources.Sources)
+	}
+	if sources.Sources[0].Records != int64(len(recs)) {
+		t.Fatalf("source records %d, want %d", sources.Sources[0].Records, len(recs))
+	}
+
+	if resp, err := http.Get(srv.URL + "/api/loops?n=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad n returned %d", resp.StatusCode)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingLatest(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Latest(3); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	for i := 0; i < 6; i++ {
+		r.Publish(testEvent(i))
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	got := r.Latest(0)
+	if len(got) != 4 {
+		t.Fatalf("retained %d, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := testEvent(5 - i).ID; e.ID != want {
+			t.Fatalf("latest[%d] = %s, want %s", i, e.ID, want)
+		}
+	}
+	if got := r.Latest(2); len(got) != 2 || got[0].ID != testEvent(5).ID {
+		t.Fatalf("Latest(2) = %v", got)
+	}
+}

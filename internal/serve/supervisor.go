@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// errRestart is returned by a source runner that wants an immediate
+// (still jittered, but not escalating) restart: the condition is
+// expected — a tailed file rotated — not a failure.
+var errRestart = errors.New("serve: source requests restart")
+
+// supervise runs one source's runner in a restart loop with jittered
+// exponential backoff. A runner returning nil or ctx.Err() ends the
+// loop; errRestart restarts promptly; any other error escalates the
+// backoff (base 500ms, doubling to 30s) so a crash-looping source —
+// a file with a corrupt header, a permission problem — costs polling,
+// not a spin.
+func (d *Daemon) supervise(ctx context.Context, s *sourceState) {
+	const (
+		base = 500 * time.Millisecond
+		max  = 30 * time.Second
+	)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	delay := base
+	for {
+		err := s.run(ctx)
+		if ctx.Err() != nil || err == nil {
+			return
+		}
+		if errors.Is(err, errTestCrash) {
+			d.fail(err)
+			return
+		}
+		s.mu.Lock()
+		s.restarts++
+		s.lastErr = err.Error()
+		s.status = "restarting"
+		s.mu.Unlock()
+		s.restartsC.Inc()
+		if errors.Is(err, errRestart) {
+			delay = base
+		} else {
+			d.logf("source %s: %v (restarting in ~%v)", s.name, err, delay)
+		}
+		// Full jitter: sleep uniformly in [delay/2, delay).
+		sleep := delay/2 + time.Duration(rng.Int63n(int64(delay/2)+1))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(sleep):
+		}
+		if !errors.Is(err, errRestart) {
+			delay *= 2
+			if delay > max {
+				delay = max
+			}
+		}
+	}
+}
+
+// errTestCrash simulates an abrupt kill in tests: the daemon stops
+// immediately, skipping graceful drain and the final checkpoint, as a
+// SIGKILL would.
+var errTestCrash = errors.New("serve: test crash")

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"loopscope/internal/obs"
+)
+
+// WebhookOptions configures NewWebhook.
+type WebhookOptions struct {
+	// URL receives each event as a JSON POST.
+	URL string
+	// QueueSize bounds the in-flight queue (<= 0: 256). When the queue
+	// is full Publish drops the event and counts it — detection never
+	// blocks on a slow or dead endpoint.
+	QueueSize int
+	// MaxRetries is how many delivery attempts each event gets before
+	// being dropped (<= 0: 8).
+	MaxRetries int
+	// BackoffBase is the first retry delay (<= 0: 500ms); it doubles per
+	// attempt, jittered, capped at BackoffMax (<= 0: 30s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Timeout bounds each POST (<= 0: 10s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+	// Metrics receives the queue/delivery counters (may be nil).
+	Metrics *obs.Registry
+}
+
+// Webhook is the push sink: a bounded queue feeding one delivery
+// worker that POSTs events as JSON with exponential-backoff retries.
+// Delivery is at-least-once at best and lossy under sustained backend
+// failure — by design: the journal is the durable record, the webhook
+// is a notification channel, and a full queue sheds load instead of
+// stalling the detectors. Drops and retries are visible in /metrics.
+type Webhook struct {
+	opts   WebhookOptions
+	client *http.Client
+	queue  chan Event
+	done   chan struct{}
+	exited chan struct{}
+	cancel context.CancelFunc
+
+	depth     *obs.Gauge
+	delivered *obs.Counter
+	dropped   *obs.Counter
+	retries   *obs.Counter
+}
+
+// NewWebhook starts the delivery worker and returns the sink.
+func NewWebhook(opts WebhookOptions) *Webhook {
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 256
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 8
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 500 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 30 * time.Second
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: opts.Timeout}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &Webhook{
+		opts:      opts,
+		client:    client,
+		queue:     make(chan Event, opts.QueueSize),
+		done:      make(chan struct{}),
+		exited:    make(chan struct{}),
+		cancel:    cancel,
+		depth:     opts.Metrics.Gauge(obs.LabelMetric(obs.MetricServeSinkQueueDepth, "sink", "webhook")),
+		delivered: opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDelivered, "sink", "webhook")),
+		dropped:   opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDropped, "sink", "webhook")),
+		retries:   opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkRetries, "sink", "webhook")),
+	}
+	go w.run(ctx)
+	return w
+}
+
+// Name implements Sink.
+func (w *Webhook) Name() string { return "webhook" }
+
+// Publish implements Sink: enqueue without blocking, dropping (and
+// counting) when the queue is full or the sink is closed.
+func (w *Webhook) Publish(e Event) {
+	select {
+	case <-w.done:
+		w.dropped.Inc()
+		return
+	default:
+	}
+	select {
+	case w.queue <- e:
+		w.depth.Set(int64(len(w.queue)))
+	default:
+		w.dropped.Inc()
+	}
+}
+
+// run is the delivery worker: one event at a time, retried with
+// backoff until delivered, exhausted, or the sink is cancelled. On
+// Close it drains whatever is queued, then exits.
+func (w *Webhook) run(ctx context.Context) {
+	defer close(w.exited)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for {
+		select {
+		case e := <-w.queue:
+			w.depth.Set(int64(len(w.queue)))
+			w.deliver(ctx, e, rng)
+		case <-w.done:
+			for {
+				select {
+				case e := <-w.queue:
+					w.depth.Set(int64(len(w.queue)))
+					w.deliver(ctx, e, rng)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// deliver POSTs one event, retrying with jittered exponential backoff.
+func (w *Webhook) deliver(ctx context.Context, e Event, rng *rand.Rand) {
+	body, err := json.Marshal(e)
+	if err != nil {
+		w.dropped.Inc()
+		return
+	}
+	delay := w.opts.BackoffBase
+	for attempt := 0; attempt < w.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			w.retries.Inc()
+			// Jitter in [delay/2, delay) decorrelates retry storms.
+			d := delay/2 + time.Duration(rng.Int63n(int64(delay/2)+1))
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				w.dropped.Inc()
+				return
+			}
+			delay *= 2
+			if delay > w.opts.BackoffMax {
+				delay = w.opts.BackoffMax
+			}
+		}
+		if w.post(ctx, body) {
+			w.delivered.Inc()
+			return
+		}
+		if ctx.Err() != nil {
+			w.dropped.Inc()
+			return
+		}
+	}
+	w.dropped.Inc()
+}
+
+// post makes one delivery attempt; any 2xx response is success.
+func (w *Webhook) post(ctx context.Context, body []byte) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.URL, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// Close implements Sink: stop accepting events and let the worker
+// drain the queue until ctx expires, then abandon what remains. The
+// queue channel is never closed — a straggling Publish after Close is
+// a counted drop, not a panic.
+func (w *Webhook) Close(ctx context.Context) error {
+	close(w.done)
+	select {
+	case <-w.exited:
+		return nil
+	case <-ctx.Done():
+		w.cancel() // abort in-flight delivery and pending backoff
+		<-w.exited
+		return ctx.Err()
+	}
+}

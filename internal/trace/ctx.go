@@ -1,0 +1,33 @@
+package trace
+
+import "context"
+
+// ctxSource couples a Source with a context so long record-by-record
+// drains can be cancelled between reads. The underlying read itself is
+// not interrupted — sources are synchronous — but a pipeline stage
+// polling Next observes the cancellation on the next call, which is
+// what batch readers and the serve daemon need to stop promptly
+// without leaking goroutines.
+type ctxSource struct {
+	ctx context.Context
+	src Source
+}
+
+// WithContext returns a Source whose Next reports ctx.Err() once ctx
+// is cancelled, before touching the underlying source. Records already
+// read are unaffected; after cancellation the source stays readable
+// through the original src if the caller wants to finish a drain.
+func WithContext(ctx context.Context, src Source) Source {
+	return &ctxSource{ctx: ctx, src: src}
+}
+
+// Meta implements Source.
+func (s *ctxSource) Meta() Meta { return s.src.Meta() }
+
+// Next implements Source.
+func (s *ctxSource) Next() (Record, error) {
+	if err := s.ctx.Err(); err != nil {
+		return Record{}, err
+	}
+	return s.src.Next()
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"compress/gzip"
 	"fmt"
 	"io"
@@ -30,61 +31,72 @@ type OpenOptions struct {
 	Metrics *obs.Registry
 }
 
-// Open opens a trace file for reading, concentrating the open/sniff/
-// salvage policy that every tool shares: the file may be gzipped
-// (sniffed and unwrapped transparently), the format is sniffed from
-// the magic bytes unless forced, and with opts.Salvage the reader
-// tolerates damaged regions.
+// Open opens a trace for reading, concentrating the open/sniff/salvage
+// policy that every tool shares: the input may be gzipped (sniffed and
+// unwrapped transparently), the format is sniffed from the magic bytes
+// unless forced, and with opts.Salvage the reader tolerates damaged
+// regions. The path "-" reads the trace from standard input, so piped
+// captures work without a temp file.
 //
 // The returned Source owns the file handle; close it with CloseSource
 // (or a direct io.Closer assertion) when done. The *DecodeStats is
 // non-nil only under Salvage; it is a live view that fills in as the
 // source is consumed, so read it after draining.
 func Open(path string, opts OpenOptions) (Source, *DecodeStats, error) {
+	if path == "-" {
+		src, stats, err := OpenStream(os.Stdin, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading stdin: %w", err)
+		}
+		return src, stats, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	src, stats, err := openReader(f, opts)
+	src, stats, err := OpenStream(f, opts)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	src = MeterSource(src, opts.Metrics, stats)
 	return &fileSource{Source: src, f: f}, stats, nil
 }
 
-// openReader builds the record source on top of an opened file.
-func openReader(f *os.File, opts OpenOptions) (Source, *DecodeStats, error) {
-	var magic [4]byte
-	if _, err := io.ReadFull(f, magic[:]); err != nil {
-		return nil, nil, fmt.Errorf("reading magic: %w", err)
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
+// OpenStream is Open over an arbitrary reader: the same gzip and
+// format sniffing, but nothing is ever seeked or reopened, so pipes,
+// sockets and stdin work. The caller keeps ownership of r; the
+// returned Source does not close it.
+func OpenStream(r io.Reader, opts OpenOptions) (Source, *DecodeStats, error) {
+	src, stats, err := openStream(r, opts)
+	if err != nil {
 		return nil, nil, err
 	}
-	var r io.Reader = f
+	src = MeterSource(src, opts.Metrics, stats)
+	return src, stats, nil
+}
+
+// openStream builds the record source on top of a raw reader, sniffing
+// via buffered peeks instead of seeks.
+func openStream(r io.Reader, opts OpenOptions) (Source, *DecodeStats, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading magic: %w", err)
+	}
+	var rr io.Reader = br
 	if magic[0] == 0x1f && magic[1] == 0x8b {
-		gz, err := gzip.NewReader(f)
+		gz, err := gzip.NewReader(br)
 		if err != nil {
 			return nil, nil, fmt.Errorf("opening gzip stream: %w", err)
 		}
-		if _, err := io.ReadFull(gz, magic[:]); err != nil {
+		inner := bufio.NewReaderSize(gz, 1<<16)
+		if magic, err = inner.Peek(4); err != nil {
 			return nil, nil, fmt.Errorf("reading magic inside gzip: %w", err)
 		}
-		// Re-open the gzip stream from the start; gzip readers do not
-		// seek.
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return nil, nil, err
-		}
-		gz, err = gzip.NewReader(f)
-		if err != nil {
-			return nil, nil, err
-		}
-		r = gz
+		rr = inner
 	}
 	if opts.Salvage {
-		src, err := NewSalvageReader(r, SalvageOptions{
+		src, err := NewSalvageReader(rr, SalvageOptions{
 			Format:    opts.Format,
 			MaxErrors: opts.MaxDecodeErrors,
 		})
@@ -95,20 +107,20 @@ func openReader(f *os.File, opts OpenOptions) (Source, *DecodeStats, error) {
 	}
 	switch opts.Format {
 	case FormatNative:
-		src, err := NewReader(r)
+		src, err := NewReader(rr)
 		return src, nil, err
 	case FormatPcap:
-		src, err := NewPcapReader(r)
+		src, err := NewPcapReader(rr)
 		return src, nil, err
 	case FormatERF:
-		src, err := NewERFReader(r)
+		src, err := NewERFReader(rr)
 		return src, nil, err
 	}
-	if magic == [4]byte{'L', 'S', 'P', 'T'} {
-		src, err := NewReader(r)
+	if [4]byte(magic) == [4]byte{'L', 'S', 'P', 'T'} {
+		src, err := NewReader(rr)
 		return src, nil, err
 	}
-	src, err := NewPcapReader(r)
+	src, err := NewPcapReader(rr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("not a native or pcap trace (optionally gzipped): %w", err)
 	}

@@ -1,0 +1,261 @@
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Tail errors. Both are terminal for the reader: the caller decides
+// whether to reopen (rotation) or to start over (truncation).
+var (
+	// ErrTailTruncated reports that the file shrank below the offset
+	// already consumed — it was rewritten in place, so everything read
+	// so far describes a file that no longer exists.
+	ErrTailTruncated = errors.New("trace: tailed file truncated below consumed offset")
+	// ErrTailRotated reports that the path now names a different file
+	// (the writer rotated) and the old file has been fully drained.
+	ErrTailRotated = errors.New("trace: tailed file rotated; old file drained")
+	// ErrTailIdle reports that no new record arrived within the
+	// configured idle timeout while the file was fully consumed.
+	ErrTailIdle = errors.New("trace: tail idle")
+)
+
+// TailOptions configures OpenTail. The zero value polls every 200ms
+// and never times out.
+type TailOptions struct {
+	// Poll is the interval at which the reader re-checks the file for
+	// appended data once it has caught up. <= 0 selects 200ms.
+	Poll time.Duration
+	// IdleTimeout, when positive, makes Next return ErrTailIdle after
+	// the file has been fully consumed and no new record has arrived
+	// for this long. Zero waits forever.
+	IdleTimeout time.Duration
+}
+
+// TailReader follows a native-format trace file that is still being
+// written. Next delivers complete records as they are appended,
+// blocking (by polling) while the writer is mid-record or idle; a
+// record is never delivered twice and a half-written record is never
+// delivered at all, so a reader killed and restarted at a recorded
+// offset resumes exactly where it stopped.
+//
+// The reader detects the two ways a live file can change under it:
+// truncation (size drops below the consumed offset — ErrTailTruncated)
+// and rotation (the path names a new inode — the old file is drained
+// to its final record first, then ErrTailRotated). Reads use ReadAt
+// against remembered offsets, so a concurrent writer appending to the
+// same file is safe.
+type TailReader struct {
+	path string
+	f    *os.File
+	opts TailOptions
+
+	meta      Meta
+	headerLen int64
+	hdrDone   bool
+
+	off  atomic.Int64 // next unread byte
+	n    atomic.Int64 // records delivered
+	size atomic.Int64 // last observed file size
+
+	lastTime time.Duration
+}
+
+// OpenTail opens path for tailing. The file must exist, but may still
+// be empty: the native header is parsed lazily, on the first Next, so
+// a daemon can attach to a capture file the writer has only just
+// created. Callers that need to wait for the file to appear retry
+// OpenTail (the serve supervisor's restart-with-backoff does exactly
+// that).
+func OpenTail(path string, opts TailOptions) (*TailReader, error) {
+	if opts.Poll <= 0 {
+		opts.Poll = 200 * time.Millisecond
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &TailReader{path: path, f: f, opts: opts}, nil
+}
+
+// Meta returns the trace metadata. Before the header has been read
+// (no Next call has succeeded yet) it returns the zero Meta.
+func (t *TailReader) Meta() Meta { return t.meta }
+
+// Offset returns the byte offset consumed so far (safe concurrently).
+func (t *TailReader) Offset() int64 { return t.off.Load() }
+
+// Records returns the number of records delivered (safe concurrently).
+func (t *TailReader) Records() int64 { return t.n.Load() }
+
+// Size returns the file size observed at the last read attempt (safe
+// concurrently). Size-Offset is the reader's byte lag.
+func (t *TailReader) Size() int64 { return t.size.Load() }
+
+// FileID identifies the open file (device:inode on Unix) so a
+// checkpoint can tell whether the path still names the file it
+// described when it was written.
+func (t *TailReader) FileID() string {
+	st, err := t.f.Stat()
+	if err != nil {
+		return ""
+	}
+	return FileID(st)
+}
+
+// Close releases the file handle.
+func (t *TailReader) Close() error { return t.f.Close() }
+
+// readAt fills p from offset off, reporting whether the file holds
+// that many bytes yet. A short read at EOF is "not yet", not an error.
+func (t *TailReader) readAt(p []byte, off int64) (complete bool, err error) {
+	n, err := t.f.ReadAt(p, off)
+	if n == len(p) {
+		return true, nil
+	}
+	if err == nil || errors.Is(err, io.EOF) {
+		return false, nil
+	}
+	return false, err
+}
+
+// parseHeader attempts to read the native file header, returning false
+// while the writer has not finished it yet.
+func (t *TailReader) parseHeader() (bool, error) {
+	var fixed [18]byte
+	ok, err := t.readAt(fixed[:], 0)
+	if err != nil || !ok {
+		return false, err
+	}
+	if [4]byte(fixed[0:4]) != nativeMagic {
+		return false, fmt.Errorf("trace: tail %s: bad magic %q", t.path, fixed[0:4])
+	}
+	if v := binary.BigEndian.Uint16(fixed[4:6]); v != nativeVersion {
+		return false, fmt.Errorf("trace: tail %s: unsupported version %d", t.path, v)
+	}
+	snapLen := int(binary.BigEndian.Uint16(fixed[6:8]))
+	start := time.Unix(0, int64(binary.BigEndian.Uint64(fixed[8:16])))
+	linkLen := int64(binary.BigEndian.Uint16(fixed[16:18]))
+	link := make([]byte, linkLen)
+	if ok, err = t.readAt(link, 18); err != nil || !ok {
+		return false, err
+	}
+	t.meta = Meta{Link: string(link), Start: start, SnapLen: snapLen}
+	t.headerLen = 18 + linkLen
+	t.off.Store(t.headerLen)
+	t.hdrDone = true
+	return true, nil
+}
+
+// tryRecord attempts to read one complete record at the current
+// offset, returning ok=false while the file does not hold it in full.
+func (t *TailReader) tryRecord() (Record, bool, error) {
+	off := t.off.Load()
+	var hdr [12]byte
+	ok, err := t.readAt(hdr[:], off)
+	if err != nil || !ok {
+		return Record{}, false, err
+	}
+	rec := Record{
+		Time:    time.Duration(binary.BigEndian.Uint64(hdr[0:8])),
+		WireLen: int(binary.BigEndian.Uint16(hdr[8:10])),
+	}
+	capLen := int(binary.BigEndian.Uint16(hdr[10:12]))
+	if capLen > t.meta.SnapLen {
+		return Record{}, false, fmt.Errorf("trace: tail %s: record caplen %d exceeds snaplen %d", t.path, capLen, t.meta.SnapLen)
+	}
+	rec.Data = make([]byte, capLen)
+	if ok, err = t.readAt(rec.Data, off+12); err != nil || !ok {
+		return Record{}, false, err
+	}
+	if rec.Time < t.lastTime {
+		return Record{}, false, fmt.Errorf("trace: tail %s: record %d goes back in time (%v < %v)",
+			t.path, t.n.Load(), rec.Time, t.lastTime)
+	}
+	t.lastTime = rec.Time
+	t.off.Store(off + 12 + int64(capLen))
+	t.n.Add(1)
+	return rec, true, nil
+}
+
+// checkFile refreshes the observed size and detects truncation and
+// rotation. rotated means the path now names a different file; the
+// current file may still hold undelivered records.
+func (t *TailReader) checkFile() (rotated bool, err error) {
+	st, err := t.f.Stat()
+	if err != nil {
+		return false, err
+	}
+	t.size.Store(st.Size())
+	if st.Size() < t.off.Load() {
+		return false, ErrTailTruncated
+	}
+	pst, err := os.Stat(t.path)
+	if err != nil {
+		// The path vanished (rotation in progress, or the writer is
+		// gone): keep draining the open handle; the caller sees
+		// ErrTailRotated once the drain catches up.
+		return true, nil
+	}
+	return !os.SameFile(st, pst), nil
+}
+
+// Next returns the next complete record, blocking until one is
+// appended. It returns ctx.Err() on cancellation, ErrTailTruncated if
+// the file shrank, ErrTailRotated once the path names a new file and
+// the old one is drained, ErrTailIdle on idle timeout, and any decode
+// error permanently.
+func (t *TailReader) Next(ctx context.Context) (Record, error) {
+	idleSince := time.Now()
+	for {
+		if err := ctx.Err(); err != nil {
+			return Record{}, err
+		}
+		rotated, err := t.checkFile()
+		if err != nil {
+			return Record{}, err
+		}
+		if !t.hdrDone {
+			ok, err := t.parseHeader()
+			if err != nil {
+				return Record{}, err
+			}
+			if !ok {
+				goto wait
+			}
+		}
+		if rec, ok, err := t.tryRecord(); err != nil {
+			return Record{}, err
+		} else if ok {
+			return rec, nil
+		}
+		if rotated {
+			return Record{}, ErrTailRotated
+		}
+	wait:
+		if t.opts.IdleTimeout > 0 && time.Since(idleSince) >= t.opts.IdleTimeout {
+			return Record{}, ErrTailIdle
+		}
+		select {
+		case <-ctx.Done():
+			return Record{}, ctx.Err()
+		case <-time.After(t.opts.Poll):
+		}
+	}
+}
+
+// FileID renders a FileInfo's identity as "dev:inode" on platforms
+// that expose it, or falls back to name+size+mtime. It is the identity
+// a checkpoint stores to recognise the file it described.
+func FileID(st os.FileInfo) string {
+	if id := sysFileID(st); id != "" {
+		return id
+	}
+	return fmt.Sprintf("%s:%d:%d", st.Name(), st.Size(), st.ModTime().UnixNano())
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// sysFileID has no portable implementation off Unix; FileID falls back
+// to name+size+mtime.
+func sysFileID(os.FileInfo) string { return "" }

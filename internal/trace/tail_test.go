@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// tailTestWriter opens a native writer on a real file and flushes
+// after every record, the shape a live capture writer has.
+type tailTestWriter struct {
+	f *os.File
+	w *Writer
+}
+
+func newTailTestWriter(t *testing.T, path string) *tailTestWriter {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f, Meta{Link: "tail-test", SnapLen: 64, Start: time.Unix(100, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &tailTestWriter{f: f, w: w}
+}
+
+func (tw *tailTestWriter) append(t *testing.T, at time.Duration, payload byte) {
+	t.Helper()
+	data := make([]byte, 40)
+	data[0] = payload
+	if err := tw.w.Write(Record{Time: at, WireLen: 40, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (tw *tailTestWriter) close(t *testing.T) {
+	t.Helper()
+	if err := tw.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTailReaderFollowsGrowingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grow.lspt")
+	tw := newTailTestWriter(t, path)
+	defer tw.close(t)
+	tw.append(t, 1*time.Second, 1)
+	tw.append(t, 2*time.Second, 2)
+
+	tr, err := OpenTail(path, TailOptions{Poll: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ctx := context.Background()
+
+	for i, want := range []byte{1, 2} {
+		rec, err := tr.Next(ctx)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.Data[0] != want {
+			t.Fatalf("record %d: payload %d, want %d", i, rec.Data[0], want)
+		}
+	}
+	if got := tr.Meta().Link; got != "tail-test" {
+		t.Fatalf("Meta().Link = %q", got)
+	}
+	if tr.Records() != 2 {
+		t.Fatalf("Records() = %d, want 2", tr.Records())
+	}
+
+	// Append while a Next is blocked: the record must be delivered.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		tw.append(t, 3*time.Second, 3)
+	}()
+	rec, err := tr.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Data[0] != 3 {
+		t.Fatalf("payload %d, want 3", rec.Data[0])
+	}
+}
+
+// TestTailReaderPartialRecordWithheld checks that a partially written
+// record is withheld until the writer completes it.
+func TestTailReaderPartialRecordWithheld(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "half.lspt")
+	tw := newTailTestWriter(t, path)
+	defer tw.close(t)
+	tw.append(t, time.Second, 1)
+
+	// Hand-append half a record header directly.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tr, err := OpenTail(path, TailOptions{Poll: 5 * time.Millisecond, IdleTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The dangling 4 bytes are not a complete record: Next must idle
+	// out rather than deliver garbage.
+	if _, err := tr.Next(context.Background()); !errors.Is(err, ErrTailIdle) {
+		t.Fatalf("Next on half record: %v, want ErrTailIdle", err)
+	}
+}
+
+func TestTailReaderTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.lspt")
+	tw := newTailTestWriter(t, path)
+	tw.append(t, time.Second, 1)
+	tw.append(t, 2*time.Second, 2)
+	tw.close(t)
+
+	tr, err := OpenTail(path, TailOptions{Poll: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ctx := context.Background()
+	if _, err := tr.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the file shorter than the consumed offset.
+	if err := os.Truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Next(ctx); !errors.Is(err, ErrTailTruncated) {
+		t.Fatalf("Next after truncate: %v, want ErrTailTruncated", err)
+	}
+}
+
+func TestTailReaderRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rot.lspt")
+	tw := newTailTestWriter(t, path)
+	tw.append(t, time.Second, 1)
+
+	tr, err := OpenTail(path, TailOptions{Poll: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ctx := context.Background()
+	if _, err := tr.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rotate: move the file aside, write one more record to the moved
+	// file (still the open handle), and create a fresh file at path.
+	if err := os.Rename(path, path+".1"); err != nil {
+		t.Fatal(err)
+	}
+	tw.append(t, 2*time.Second, 2)
+	tw.close(t)
+	nw := newTailTestWriter(t, path)
+	defer nw.close(t)
+
+	// The record written after the rename is still delivered (drain),
+	// then rotation is reported.
+	rec, err := tr.Next(ctx)
+	if err != nil {
+		t.Fatalf("drain after rotation: %v", err)
+	}
+	if rec.Data[0] != 2 {
+		t.Fatalf("drained payload %d, want 2", rec.Data[0])
+	}
+	if _, err := tr.Next(ctx); !errors.Is(err, ErrTailRotated) {
+		t.Fatalf("Next after drain: %v, want ErrTailRotated", err)
+	}
+}
+
+func TestTailReaderCancellation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cancel.lspt")
+	tw := newTailTestWriter(t, path)
+	defer tw.close(t)
+
+	tr, err := OpenTail(path, TailOptions{Poll: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := tr.Next(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Next after cancel: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Next did not return after cancellation")
+	}
+}
+
+func TestTailReaderEmptyFileHeaderLazily(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "late.lspt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tr, err := OpenTail(path, TailOptions{Poll: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		tw := newTailTestWriter(t, path)
+		tw.append(t, time.Second, 9)
+		tw.close(t)
+	}()
+	rec, err := tr.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Data[0] != 9 {
+		t.Fatalf("payload %d, want 9", rec.Data[0])
+	}
+}

@@ -1,0 +1,17 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// sysFileID returns the dev:inode identity on Unix systems.
+func sysFileID(st os.FileInfo) string {
+	if sys, ok := st.Sys().(*syscall.Stat_t); ok {
+		return fmt.Sprintf("%d:%d", sys.Dev, sys.Ino)
+	}
+	return ""
+}
