@@ -154,7 +154,8 @@ func main() {
 
 	if *journalPath != "" {
 		j, err := serve.NewJournal(serve.JournalOptions{
-			Path: *journalPath, MaxBytes: *journalMax, Keep: *journalKeep, Metrics: reg,
+			Path: *journalPath, MaxBytes: *journalMax, Keep: *journalKeep,
+			Metrics: reg, Logf: logger.Printf,
 		})
 		if err != nil {
 			logger.Fatal(err)

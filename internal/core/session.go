@@ -102,6 +102,18 @@ func (s *Session) SetReplay(n int) {
 // previous incarnation delivered.
 func (s *Session) Replaying() bool { return s.suppress > 0 }
 
+// ClearReplay cancels any remaining replay suppression and returns how
+// many suppressed emissions were still pending. Callers use it when a
+// replay ends without reaching its target: leftover suppression would
+// silently swallow that many genuinely new emissions (permanent loss),
+// whereas clearing it can at worst re-deliver events a downstream
+// ID-dedup absorbs.
+func (s *Session) ClearReplay() int {
+	n := s.suppress
+	s.suppress = 0
+	return n
+}
+
 // Observe feeds the next record; records must arrive in non-decreasing
 // time order. Observe must not be called after Drain.
 func (s *Session) Observe(rec trace.Record) {

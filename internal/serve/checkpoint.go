@@ -51,7 +51,13 @@ type SourceCheckpoint struct {
 	// Offset is the byte offset those records end at (sanity check
 	// during replay).
 	Offset int64 `json:"offset"`
-	// Emitted is the number of final loop events delivered.
+	// Emitted is the number of final loop events delivered by the
+	// source's current session. Tail resume passes it to SetReplay so
+	// the replayed prefix stays silent; dir sources record it for
+	// observability only — their resume rebuilds state from the
+	// current segment alone, so the cumulative count must not arm
+	// suppression (re-derived events are re-published and deduped by
+	// the journal instead).
 	Emitted int `json:"emitted"`
 	// HighWaterNs is the detector's position on the trace clock.
 	HighWaterNs int64 `json:"highWaterNs"`

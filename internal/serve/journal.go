@@ -21,8 +21,11 @@ type JournalOptions struct {
 	// Keep is how many rotated files to retain (path.1 .. path.Keep);
 	// <= 0 selects 3.
 	Keep int
-	// Metrics receives the delivered/duplicate counters (may be nil).
+	// Metrics receives the delivered/duplicate/dropped counters (may
+	// be nil).
 	Metrics *obs.Registry
+	// Logf logs write and rotation failures (nil: silent).
+	Logf func(format string, args ...any)
 }
 
 // Journal is the append-only JSONL event sink — the daemon's durable
@@ -41,13 +44,15 @@ type JournalOptions struct {
 type Journal struct {
 	opts JournalOptions
 
-	mu   sync.Mutex
-	f    *os.File
-	size int64
-	seen map[string]struct{}
+	mu     sync.Mutex
+	f      *os.File
+	size   int64
+	seen   map[string]struct{}
+	closed bool
 
 	delivered *obs.Counter
 	dups      *obs.Counter
+	drops     *obs.Counter
 }
 
 // NewJournal opens (creating if needed) the journal at opts.Path and
@@ -62,6 +67,7 @@ func NewJournal(opts JournalOptions) (*Journal, error) {
 		seen:      make(map[string]struct{}),
 		delivered: opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDelivered, "sink", "journal")),
 		dups:      opts.Metrics.Counter(obs.MetricServeJournalDup),
+		drops:     opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDropped, "sink", "journal")),
 	}
 	// Oldest generation first so the live file wins any (impossible,
 	// but cheap to honor) conflicts.
@@ -106,11 +112,23 @@ func (j *Journal) loadSeen(path string) {
 // Name implements Sink.
 func (j *Journal) Name() string { return "journal" }
 
+// logf logs through opts.Logf when set.
+func (j *Journal) logf(format string, args ...any) {
+	if j.opts.Logf != nil {
+		j.opts.Logf(format, args...)
+	}
+}
+
 // Publish implements Sink: append the event as one JSON line, unless
-// its ID was already journaled.
+// its ID was already journaled. The journal is the pipeline's durable
+// record, so a failed write is never silent: it increments the sink's
+// dropped counter and logs, and a file lost to a failed rotation is
+// retried on every subsequent Publish rather than dropping forever.
 func (j *Journal) Publish(e Event) {
 	data, err := json.Marshal(e)
 	if err != nil {
+		j.drops.Inc()
+		j.logf("journal: marshaling event %s: %v", e.ID, err)
 		return
 	}
 	data = append(data, '\n')
@@ -120,13 +138,26 @@ func (j *Journal) Publish(e Event) {
 		j.dups.Inc()
 		return
 	}
+	if j.closed {
+		j.drops.Inc()
+		j.logf("journal: event %s published after Close; dropped", e.ID)
+		return
+	}
 	if j.opts.MaxBytes > 0 && j.size > 0 && j.size+int64(len(data)) > j.opts.MaxBytes {
 		j.rotateLocked()
 	}
 	if j.f == nil {
+		// A previous rotation failed to reopen the live file; retry
+		// before giving up on this event.
+		j.reopenLocked()
+	}
+	if j.f == nil {
+		j.drops.Inc()
 		return
 	}
 	if _, err := j.f.Write(data); err != nil {
+		j.drops.Inc()
+		j.logf("journal: writing event %s: %v", e.ID, err)
 		return
 	}
 	j.size += int64(len(data))
@@ -139,17 +170,28 @@ func (j *Journal) Publish(e Event) {
 // forgets an ID.
 func (j *Journal) rotateLocked() {
 	j.f.Close()
+	j.f = nil
 	os.Remove(fmt.Sprintf("%s.%d", j.opts.Path, j.opts.Keep))
 	for i := j.opts.Keep - 1; i >= 1; i-- {
 		os.Rename(fmt.Sprintf("%s.%d", j.opts.Path, i), fmt.Sprintf("%s.%d", j.opts.Path, i+1))
 	}
 	os.Rename(j.opts.Path, j.opts.Path+".1")
+	j.reopenLocked()
+}
+
+// reopenLocked (re)opens the live journal file, leaving j.f nil on
+// failure; Publish retries it per event.
+func (j *Journal) reopenLocked() {
 	f, err := os.OpenFile(j.opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		j.f = nil
+		j.logf("journal: reopening %s: %v", j.opts.Path, err)
 		return
 	}
-	j.f, j.size = f, 0
+	size := int64(0)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+	j.f, j.size = f, size
 }
 
 // Close implements Sink. Nothing is queued — Publish writes through —
@@ -157,6 +199,7 @@ func (j *Journal) rotateLocked() {
 func (j *Journal) Close(context.Context) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.closed = true
 	if j.f == nil {
 		return nil
 	}

@@ -122,6 +122,82 @@ func TestJournalTornTailLine(t *testing.T) {
 	}
 }
 
+// TestJournalReopenRetryAfterFailedRotation verifies Publish retries
+// opening the live file when a rotation left it closed, instead of
+// silently dropping every future event.
+func TestJournalReopenRetryAfterFailedRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "loops.jsonl")
+	reg := obs.NewRegistry()
+	j, err := NewJournal(JournalOptions{Path: path, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Publish(testEvent(0))
+
+	// Simulate a rotation whose reopen failed: no live handle.
+	j.mu.Lock()
+	j.f.Close()
+	j.f = nil
+	j.mu.Unlock()
+
+	j.Publish(testEvent(1))
+	j.Close(context.Background())
+
+	ids := journalIDs(t, path)
+	if len(ids) != 2 {
+		t.Fatalf("journal has %d lines, want 2 (reopen retry lost one): %v", len(ids), ids)
+	}
+	if got := reg.Counter(obs.LabelMetric(obs.MetricServeSinkDropped, "sink", "journal")).Value(); got != 0 {
+		t.Fatalf("dropped counter = %d, want 0", got)
+	}
+}
+
+// TestJournalDropsCountedAndLogged verifies a journal that cannot
+// write counts and logs the loss instead of dropping silently.
+func TestJournalDropsCountedAndLogged(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "loops.jsonl")
+	reg := obs.NewRegistry()
+	var logged int
+	j, err := NewJournal(JournalOptions{
+		Path: path, Metrics: reg,
+		Logf: func(string, ...any) { logged++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Publish(testEvent(0))
+
+	// Make the live file unrecoverable: the path now names a
+	// directory, so the reopen retry fails too.
+	j.mu.Lock()
+	j.f.Close()
+	j.f = nil
+	j.mu.Unlock()
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	j.Publish(testEvent(1))
+	drops := reg.Counter(obs.LabelMetric(obs.MetricServeSinkDropped, "sink", "journal"))
+	if got := drops.Value(); got != 1 {
+		t.Fatalf("dropped counter = %d, want 1", got)
+	}
+	if logged == 0 {
+		t.Fatal("drop was not logged")
+	}
+
+	// Publish after Close is also counted, never silent.
+	j.Close(context.Background())
+	j.Publish(testEvent(2))
+	if got := drops.Value(); got != 2 {
+		t.Fatalf("dropped counter after Close = %d, want 2", got)
+	}
+}
+
 // journalIDsLoose extracts IDs, skipping unparseable lines.
 func journalIDsLoose(data []byte) []string {
 	var ids []string

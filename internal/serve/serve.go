@@ -86,7 +86,12 @@ func New(cfg Config) (*Daemon, error) {
 		cfg.RingSize = 1024
 	}
 	d := &Daemon{
-		cfg:     cfg,
+		cfg: cfg,
+		// started is set here, not in Run: cmd/loopscoped serves
+		// Handler (whose /healthz reads it) before calling Run, so a
+		// write from Run would race — and report uptime-since-epoch
+		// until then.
+		started: time.Now(),
 		ring:    NewRing(cfg.RingSize),
 		stopped: make(chan struct{}),
 		cpC:     cfg.Metrics.Counter(obs.MetricServeCheckpoints),
@@ -260,7 +265,6 @@ func (d *Daemon) Run(ctx context.Context) error {
 	if len(d.sources) == 0 {
 		return errors.New("serve: no sources configured")
 	}
-	d.started = time.Now()
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 

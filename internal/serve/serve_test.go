@@ -47,6 +47,42 @@ func serveTestTrace(t *testing.T, seed uint64, loops int) []trace.Record {
 	return traffic.Synthesize(cfg, rng)
 }
 
+// scriptedLoop places one synthetic loop: prefix index and start time.
+type scriptedLoop struct {
+	prefix int
+	start  time.Duration
+}
+
+// serveScriptedTrace synthesizes a trace with loops at explicit times.
+// Scheduling two loops per prefix makes the first of each pair
+// finalize mid-stream — the second stream's dirty gap blocks merging,
+// so the open loop is emitted as a final while records are still
+// flowing — which the restart tests rely on: they need finals
+// delivered at known points before and after a kill.
+func serveScriptedTrace(t *testing.T, seed uint64, loops []scriptedLoop) []trace.Record {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	var dests []routing.Prefix
+	for i := 0; i < 16; i++ {
+		dests = append(dests, routing.MustParsePrefix(fmt.Sprintf("198.18.%d.0/24", i)))
+	}
+	cfg := traffic.SynthConfig{
+		Duration: 40 * time.Second, PacketsPerSecond: 600,
+		Mix: traffic.DefaultMix(), DestPrefixes: dests,
+		HopsMin: 3, HopsMax: 9,
+	}
+	for _, l := range loops {
+		cfg.Loops = append(cfg.Loops, traffic.LoopSpec{
+			Prefix:     dests[l.prefix],
+			Start:      l.start,
+			Duration:   1200 * time.Millisecond,
+			TTLDelta:   3,
+			Revolution: 3 * time.Millisecond,
+		})
+	}
+	return traffic.Synthesize(cfg, rng)
+}
+
 // writeTraceFile writes recs as a native trace file.
 func writeTraceFile(t *testing.T, path string, meta trace.Meta, recs []trace.Record) {
 	t.Helper()
@@ -208,6 +244,270 @@ func TestDaemonKillRestartEquivalence(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestDaemonDirKillRestartEquivalence kills a directory-source daemon
+// mid-segment-2, after finals from both segments were journaled, and
+// requires the resumed run to end up with exactly the uninterrupted
+// run's final ID set. This is the regression test for dir-source
+// resume arming replay suppression with the cumulative cross-segment
+// emission count: replay re-derives only the current segment's loops,
+// so the leftover suppression silently swallowed that many genuinely
+// new events after the restart.
+func TestDaemonDirKillRestartEquivalence(t *testing.T) {
+	// Loop pairs per prefix; the first of each pair finalizes
+	// mid-stream at ~12s, ~14s (segment 1) and ~30s, ~36s (segment 2)
+	// on the trace clock.
+	recs := serveScriptedTrace(t, 11, []scriptedLoop{
+		{0, 2 * time.Second}, {0, 8 * time.Second},
+		{1, 4 * time.Second}, {1, 11 * time.Second},
+		{2, 20 * time.Second}, {2, 27 * time.Second},
+		{3, 22 * time.Second}, {3, 33 * time.Second},
+	})
+	// Cut between the segment-1 finals and the segment-2 loops; kill
+	// between the two segment-2 finals, so at the kill the session has
+	// delivered finals from both segments but at least one more is
+	// still to come.
+	cutAt, killAt := -1, -1
+	for i, r := range recs {
+		if cutAt < 0 && r.Time >= 17*time.Second {
+			cutAt = i
+		}
+		if killAt < 0 && r.Time >= 32*time.Second {
+			killAt = i
+		}
+	}
+	if cutAt < 0 || killAt < 0 {
+		t.Fatal("trace too short for the scripted cut/kill points")
+	}
+
+	segDir := t.TempDir()
+	meta1 := testMeta()
+	writeTraceFile(t, filepath.Join(segDir, "seg-000.lspt"), meta1, recs[:cutAt])
+	cut := recs[cutAt].Time
+	meta2 := meta1
+	meta2.Start = meta1.Start.Add(cut)
+	seg2 := make([]trace.Record, 0, len(recs)-cutAt)
+	for _, r := range recs[cutAt:] {
+		r.Time -= cut
+		seg2 = append(seg2, r)
+	}
+	writeTraceFile(t, filepath.Join(segDir, "seg-001.lspt"), meta2, seg2)
+
+	ctx := context.Background()
+
+	// Reference: one uninterrupted run over both segments.
+	out := t.TempDir()
+	refJournal := filepath.Join(out, "ref.jsonl")
+	ref := newTestDaemon(t, refJournal, filepath.Join(out, "ref-cp.json"))
+	if err := ref.AddDirSource("dirsrc", segDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(ctx); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refFinals := finalIDSet(t, journalEvents(t, refJournal))
+	if len(refFinals) < 4 {
+		t.Fatalf("reference journaled %d finals, want >= 4 (scripted pairs)", len(refFinals))
+	}
+
+	// First incarnation: dies abruptly mid-segment-2. The checkpoint is
+	// forced at the kill point so resume replays exactly the consumed
+	// prefix of seg-001.
+	journal := filepath.Join(out, "loops.jsonl")
+	cpPath := filepath.Join(out, "cp.json")
+	d1 := newTestDaemon(t, journal, cpPath)
+	var seen int64 // single source: callback runs on one goroutine
+	d1.testCrash = func(_ string, _ int64) bool {
+		seen++
+		if seen < int64(killAt) {
+			return false
+		}
+		if err := d1.checkpoint(); err != nil {
+			t.Errorf("forced checkpoint: %v", err)
+		}
+		return true
+	}
+	if err := d1.AddDirSource("dirsrc", segDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Run(ctx); !errors.Is(err, errTestCrash) {
+		t.Fatalf("crash run returned %v", err)
+	}
+	cp, err := LoadCheckpoint(cpPath)
+	if err != nil || cp == nil {
+		t.Fatalf("no checkpoint after crash: %v", err)
+	}
+	src := cp.Sources["dirsrc"]
+	if src.File != "seg-001.lspt" {
+		t.Fatalf("crash fell in segment %q, want seg-001.lspt (kill point missed)", src.File)
+	}
+	if src.Emitted < 2 {
+		// The over-suppression precondition: the checkpointed count
+		// must include finals from the earlier segment.
+		t.Fatalf("checkpoint emitted %d, want >= 2 (finals from both segments)", src.Emitted)
+	}
+
+	// Second incarnation: resumes from the current segment and must
+	// still deliver every remaining final.
+	d2 := newTestDaemon(t, journal, cpPath)
+	if err := d2.AddDirSource("dirsrc", segDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Run(ctx); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+
+	gotFinals := finalIDSet(t, journalEvents(t, journal))
+	for id := range refFinals {
+		if !gotFinals[id] {
+			t.Errorf("final %s missing from resumed journal", id)
+		}
+	}
+	for id := range gotFinals {
+		if !refFinals[id] {
+			t.Errorf("final %s in resumed journal but not in reference", id)
+		}
+	}
+}
+
+// TestDaemonTailResumeShortFile resumes a tail source from a
+// checkpoint that claims more bytes than the file holds — an OS crash
+// can lose the file's tail while keeping the checkpoint. The daemon
+// must fall back to a fresh read instead of hanging: the regression
+// this guards sat in "replaying" forever with ExitIdle=0 (no idle
+// timeout), treating any later appends as replay.
+func TestDaemonTailResumeShortFile(t *testing.T) {
+	recs := serveScriptedTrace(t, 23, []scriptedLoop{
+		{0, 2 * time.Second}, {0, 8 * time.Second},
+		{1, 4 * time.Second}, {1, 11 * time.Second},
+	})
+	// Locate the record indexes where the finals are emitted, so the
+	// truncation point provably keeps both finals derivable (looping
+	// replicas make record density very uneven — a byte fraction lands
+	// in unpredictable trace time).
+	var emitIdx []int
+	idx := 0
+	probe, err := core.NewSession(core.DefaultConfig(), func(e core.SessionEvent) {
+		if !e.Truncated {
+			emitIdx = append(emitIdx, idx)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx = range recs {
+		probe.Observe(recs[idx])
+	}
+	if len(emitIdx) < 2 {
+		t.Fatalf("scripted trace emitted %d mid-stream finals, want >= 2", len(emitIdx))
+	}
+	keep := emitIdx[len(emitIdx)-1] + 500
+	if keep >= len(recs) {
+		t.Fatalf("no room to truncate after the last final (emitted at %d of %d)", emitIdx[len(emitIdx)-1], len(recs))
+	}
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "capture.lspt")
+	writeTraceFile(t, tracePath, testMeta(), recs)
+
+	// First incarnation: consume the whole file; the final checkpoint
+	// claims every record.
+	cpPath := filepath.Join(dir, "cp.json")
+	d1 := newTestDaemon(t, filepath.Join(dir, "j1.jsonl"), cpPath)
+	if err := d1.AddTailSource("src", tracePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose the file's tail, keeping the inode (same FileID, so the
+	// checkpoint still appears to describe this file). The cut lands
+	// mid-record, as a real crash would leave it.
+	tr, err := trace.OpenTail(tracePath, trace.TailOptions{Poll: time.Millisecond, IdleTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tr.Records() < int64(keep) {
+		if _, err := tr.Next(context.Background()); err != nil {
+			t.Fatalf("measuring truncation offset: %v", err)
+		}
+	}
+	cutBytes := tr.Offset() + 5
+	tr.Close()
+	if err := os.Truncate(tracePath, cutBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second incarnation runs forever (ExitIdle=0): only the
+	// fresh-read fallback makes finals appear in its fresh journal.
+	d2, err := New(Config{
+		Detector:           core.DefaultConfig(),
+		CheckpointPath:     cpPath,
+		CheckpointInterval: 10 * time.Millisecond,
+		DrainTimeout:       5 * time.Second,
+		TailPoll:           2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal2 := filepath.Join(dir, "j2.jsonl")
+	j2, err := NewJournal(JournalOptions{Path: journal2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.AddSink(j2)
+	if err := d2.AddTailSource("src", tracePath); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d2.Run(ctx) }()
+
+	// The truncated prefix (~24s of trace) still contains both
+	// mid-stream finals (~12s and ~14s).
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if n := looseFinalCount(journal2); n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatal("no finals appeared after resume from an over-long checkpoint; replay is stuck")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after cancel: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not stop on cancellation")
+	}
+	finalIDSet(t, journalEvents(t, journal2)) // no duplicate IDs
+}
+
+// looseFinalCount counts parseable final events in a journal the
+// daemon may still be appending to (torn tail lines are skipped).
+func looseFinalCount(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, line := range splitLines(data) {
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if json.Unmarshal(line, &e) == nil && !e.Truncated {
+			n++
+		}
+	}
+	return n
 }
 
 // TestDaemonTailGrowingFile follows a file that grows while the daemon

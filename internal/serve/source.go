@@ -276,9 +276,36 @@ func (s *sourceState) runTail(ctx context.Context) error {
 }
 
 // replayTail re-feeds the checkpointed record prefix. Returns ok=false
-// when the file's contents do not match the checkpoint's claim.
+// when the file's contents do not match the checkpoint's claim; the
+// caller then starts over with a fresh session, which is always safe —
+// the journal's ID dedup absorbs re-emissions, whereas stale replay
+// state would lose events.
 func (s *sourceState) replayTail(ctx context.Context, tr *trace.TailReader, resume SourceCheckpoint) (bool, error) {
-	for tr.Records() < resume.Records {
+	// The claimed prefix must already be on disk in full. An OS crash
+	// can lose the file's tail while keeping the checkpoint (journal
+	// writes contemplate exactly that); without this check the loop
+	// below would wait for the missing bytes forever — with ExitIdle=0
+	// (run forever) there is no idle timeout to break it.
+	if st, err := os.Stat(s.path); err != nil || st.Size() < resume.Offset {
+		size := int64(-1)
+		if err == nil {
+			size = st.Size()
+		}
+		s.d.logf("source %s: file is %d bytes, checkpoint claims %d; starting fresh", s.name, size, resume.Offset)
+		return false, nil
+	}
+	// Every byte the replay needs exists, so any idle wait means the
+	// content disagrees with the checkpoint (e.g. a torn record inside
+	// the claimed prefix). Bound the wait instead of hanging in
+	// "replaying" and misreading later appends as replay.
+	idle := 2 * time.Second
+	if p := 2 * s.d.cfg.TailPoll; p > idle {
+		idle = p
+	}
+	prevIdle := tr.SetIdleTimeout(idle)
+	defer tr.SetIdleTimeout(prevIdle)
+
+	for tr.Records() < resume.Records && tr.Offset() < resume.Offset {
 		rec, err := tr.Next(ctx)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -291,17 +318,21 @@ func (s *sourceState) replayTail(ctx context.Context, tr *trace.TailReader, resu
 		s.sess.Observe(rec)
 		s.mu.Unlock()
 	}
-	if tr.Offset() != resume.Offset {
-		s.d.logf("source %s: replay offset %d != checkpoint %d", s.name, tr.Offset(), resume.Offset)
+	if tr.Records() != resume.Records || tr.Offset() != resume.Offset {
+		s.d.logf("source %s: replay ended at %d records / offset %d, checkpoint claims %d / %d",
+			s.name, tr.Records(), tr.Offset(), resume.Records, resume.Offset)
 		return false, nil
 	}
 	s.mu.Lock()
-	replaying := s.sess.Replaying()
+	leftover := s.sess.ClearReplay()
 	s.cp = resume
 	s.cp.Emitted = s.sess.Emitted()
 	s.mu.Unlock()
-	if replaying {
-		s.d.logf("source %s: replay ended with suppressed emissions pending", s.name)
+	if leftover > 0 {
+		// Should not happen (the detector is deterministic over the
+		// prefix), but leftover suppression would permanently swallow
+		// the next new events; clearing risks only dedup-able repeats.
+		s.d.logf("source %s: replay ended with %d suppressed emissions pending; cleared", s.name, leftover)
 	}
 	return true, nil
 }
@@ -319,7 +350,14 @@ func (s *sourceState) replayTail(ctx context.Context, tr *trace.TailReader, resu
 // Resume after a restart replays only the current segment: detector
 // state that straddled a segment boundary is rebuilt from the current
 // segment alone, so delivery across rotation is at-least-once, with
-// the journal deduplicating what is re-derived.
+// the journal deduplicating what is re-derived. Replayed emissions are
+// re-published, never suppressed: the checkpointed emission count is
+// cumulative across every segment this source has consumed, while the
+// fresh session re-derives loops from the current segment only, so a
+// SetReplay with that count would leave suppression armed after the
+// replay and silently swallow that many genuinely new events.
+// Duplicates are safe (event IDs are deterministic and the journal
+// dedups); loss is not.
 func (s *sourceState) runDir(ctx context.Context) error {
 	poll := s.d.cfg.TailPoll
 	if poll <= 0 {
@@ -340,9 +378,6 @@ func (s *sourceState) runDir(ctx context.Context) error {
 	if err := s.newSessionLocked(); err != nil {
 		s.mu.Unlock()
 		return err
-	}
-	if resume.Records > 0 && resume.File != "" {
-		s.sess.SetReplay(resume.Emitted)
 	}
 	s.mu.Unlock()
 
@@ -487,6 +522,10 @@ func (s *sourceState) consumeSegment(ctx context.Context, seg string, baseWall *
 			if replayTarget > 0 && tr.Records() <= replayTarget {
 				// Re-feeding the checkpointed prefix of this segment:
 				// observe without advancing the checkpoint position.
+				// Loops re-derived here are re-published under their
+				// original deterministic IDs and land as journal
+				// duplicates (see runDir: suppression would lose
+				// events instead).
 				s.sess.Observe(rec)
 				if tr.Records() == replayTarget && tr.Offset() != resume.Offset {
 					s.d.logf("source %s: segment %s replay offset %d != checkpoint %d (continuing; journal dedups)",

@@ -109,6 +109,17 @@ func (t *TailReader) FileID() string {
 	return FileID(st)
 }
 
+// SetIdleTimeout replaces the idle timeout and returns the previous
+// value. It lets a caller bound one phase of consumption — e.g. a
+// checkpoint replay, where every expected byte is already on disk and
+// any idle wait means the file does not match the checkpoint — without
+// reopening the reader. Not safe concurrently with Next.
+func (t *TailReader) SetIdleTimeout(d time.Duration) time.Duration {
+	prev := t.opts.IdleTimeout
+	t.opts.IdleTimeout = d
+	return prev
+}
+
 // Close releases the file handle.
 func (t *TailReader) Close() error { return t.f.Close() }
 
