@@ -22,6 +22,7 @@ import (
 	"loopscope/internal/core"
 	"loopscope/internal/netsim"
 	"loopscope/internal/obs"
+	"loopscope/internal/obs/flight"
 	"loopscope/internal/packet"
 	"loopscope/internal/routing"
 	"loopscope/internal/scenario"
@@ -559,6 +560,46 @@ func BenchmarkObsOverhead(b *testing.B) {
 				for _, st := range reg.StageTimings() {
 					b.ReportMetric(float64(st.Total.Nanoseconds())/float64(b.N), "stage_"+st.Stage+"_ns")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlightRecorder measures the decision-tracing tax the same
+// way BenchmarkObsOverhead measures metrics: mode=noop runs the
+// parallel pipeline with no recorder attached (a nil *flight.Recorder
+// handle, so every lifecycle call is a nil-receiver no-op) and
+// mode=recording attaches a recorder with the production defaults
+// (sampled replica appends, bounded per-shard rings). CI extracts both
+// into BENCH_obs.json (cmd/benchjson -mode obs) under the same
+// regression budget, keeping "low-overhead" a tested property.
+func BenchmarkFlightRecorder(b *testing.B) {
+	recs := parallelBenchTrace()
+	for _, mode := range []string{"noop", "recording"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			b.ReportAllocs()
+			var fr *flight.Recorder
+			if mode == "recording" {
+				fr = flight.New(flight.Options{})
+			}
+			for i := 0; i < b.N; i++ {
+				e, err := core.New(core.DefaultConfig(), core.WithWorkers(4), core.WithFlight(fr))
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := trace.NewSliceSource(trace.Meta{Link: "bench"}, recs)
+				res, err := core.RunMetered(e, src, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalPackets != len(recs) {
+					b.Fatalf("engine saw %d of %d records", res.TotalPackets, len(recs))
+				}
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			if fr != nil {
+				st := fr.Stats()
+				b.ReportMetric(float64(st.Events)/float64(b.N), "flight_events/op")
 			}
 		})
 	}

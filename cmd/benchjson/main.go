@@ -52,11 +52,18 @@ type entry struct {
 var obsLine = regexp.MustCompile(
 	`^BenchmarkObsOverhead/mode=(\w+)\S*\s+\d+\s+([\d.]+) ns/op(.*)`)
 
+// flightLine matches one flight-recorder result, e.g.
+//
+//	BenchmarkFlightRecorder/mode=recording-8  1  2082514145 ns/op  5909 flight_events/op  967002 records/s
+var flightLine = regexp.MustCompile(
+	`^BenchmarkFlightRecorder/mode=(\w+)\S*\s+\d+\s+([\d.]+) ns/op(.*)`)
+
 // metricPair matches the trailing "value unit" metrics go test appends
 // (records/s, B/op, allocs/op, stage_<name>_ns, ...).
 var metricPair = regexp.MustCompile(`([\d.e+]+) ([\w/_-]+)`)
 
-// obsReport is BENCH_obs.json: the no-op/instrumented comparison.
+// obsReport is BENCH_obs.json: the no-op/instrumented comparison, plus
+// the flight-recorder comparison when its benchmark is on stdin too.
 type obsReport struct {
 	NoopNsPerOp         float64 `json:"noopNsPerOp"`
 	InstrumentedNsPerOp float64 `json:"instrumentedNsPerOp"`
@@ -66,6 +73,18 @@ type obsReport struct {
 	RegressPct   float64            `json:"regressPct"`
 	Noop         map[string]float64 `json:"noop"`
 	Instrumented map[string]float64 `json:"instrumented"`
+	Flight       *flightReport      `json:"flight,omitempty"`
+}
+
+// flightReport compares BenchmarkFlightRecorder's modes: the pipeline
+// with no recorder attached versus decision tracing at the production
+// sampling defaults.
+type flightReport struct {
+	NoopNsPerOp      float64            `json:"noopNsPerOp"`
+	RecordingNsPerOp float64            `json:"recordingNsPerOp"`
+	RegressPct       float64            `json:"regressPct"`
+	Noop             map[string]float64 `json:"noop"`
+	Recording        map[string]float64 `json:"recording"`
 }
 
 func main() {
@@ -114,9 +133,18 @@ func mainObs(out string, maxRegress float64) {
 	writeJSON(out, rep)
 	fmt.Printf("noop %.0f ns/op, instrumented %.0f ns/op: %+.2f%% overhead\n",
 		rep.NoopNsPerOp, rep.InstrumentedNsPerOp, rep.RegressPct)
+	if rep.Flight != nil {
+		fmt.Printf("flight: noop %.0f ns/op, recording %.0f ns/op: %+.2f%% overhead\n",
+			rep.Flight.NoopNsPerOp, rep.Flight.RecordingNsPerOp, rep.Flight.RegressPct)
+	}
 	if maxRegress >= 0 && rep.RegressPct > maxRegress {
 		fmt.Fprintf(os.Stderr, "benchjson: instrumentation overhead %.2f%% exceeds the %.2f%% budget\n",
 			rep.RegressPct, maxRegress)
+		os.Exit(1)
+	}
+	if maxRegress >= 0 && rep.Flight != nil && rep.Flight.RegressPct > maxRegress {
+		fmt.Fprintf(os.Stderr, "benchjson: flight-recorder overhead %.2f%% exceeds the %.2f%% budget\n",
+			rep.Flight.RegressPct, maxRegress)
 		os.Exit(1)
 	}
 }
@@ -169,33 +197,39 @@ func parse(r io.Reader) ([]entry, error) {
 	return entries, sc.Err()
 }
 
-// parseObs extracts both BenchmarkObsOverhead modes and computes the
-// overhead percentage. Both modes must be present.
+// parseObs extracts both BenchmarkObsOverhead modes (mandatory) and
+// both BenchmarkFlightRecorder modes (optional as a pair) and computes
+// the overhead percentages.
 func parseObs(r io.Reader) (*obsReport, error) {
 	rep := &obsReport{}
+	var fl flightReport
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		m := obsLine.FindStringSubmatch(sc.Text())
-		if m == nil {
+		line := sc.Text()
+		if m := obsLine.FindStringSubmatch(line); m != nil {
+			nsPerOp, metrics, err := parseBenchResult(line, m)
+			if err != nil {
+				return nil, err
+			}
+			switch m[1] {
+			case "noop":
+				rep.NoopNsPerOp, rep.Noop = nsPerOp, metrics
+			case "instrumented":
+				rep.InstrumentedNsPerOp, rep.Instrumented = nsPerOp, metrics
+			}
 			continue
 		}
-		nsPerOp, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
-		}
-		metrics := map[string]float64{}
-		for _, pm := range metricPair.FindAllStringSubmatch(m[3], -1) {
-			v, err := strconv.ParseFloat(pm[1], 64)
+		if m := flightLine.FindStringSubmatch(line); m != nil {
+			nsPerOp, metrics, err := parseBenchResult(line, m)
 			if err != nil {
-				return nil, fmt.Errorf("parsing metric %q in %q: %w", pm[0], sc.Text(), err)
+				return nil, err
 			}
-			metrics[pm[2]] = v
-		}
-		switch m[1] {
-		case "noop":
-			rep.NoopNsPerOp, rep.Noop = nsPerOp, metrics
-		case "instrumented":
-			rep.InstrumentedNsPerOp, rep.Instrumented = nsPerOp, metrics
+			switch m[1] {
+			case "noop":
+				fl.NoopNsPerOp, fl.Noop = nsPerOp, metrics
+			case "recording":
+				fl.RecordingNsPerOp, fl.Recording = nsPerOp, metrics
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -206,5 +240,31 @@ func parseObs(r io.Reader) (*obsReport, error) {
 			rep.Noop != nil, rep.Instrumented != nil)
 	}
 	rep.RegressPct = 100 * (rep.InstrumentedNsPerOp - rep.NoopNsPerOp) / rep.NoopNsPerOp
+	if fl.Noop != nil || fl.Recording != nil {
+		if fl.Noop == nil || fl.Recording == nil {
+			return nil, fmt.Errorf("need both BenchmarkFlightRecorder modes on stdin (noop: %v, recording: %v)",
+				fl.Noop != nil, fl.Recording != nil)
+		}
+		fl.RegressPct = 100 * (fl.RecordingNsPerOp - fl.NoopNsPerOp) / fl.NoopNsPerOp
+		rep.Flight = &fl
+	}
 	return rep, nil
+}
+
+// parseBenchResult pulls ns/op and the trailing custom metrics out of
+// one matched benchmark line.
+func parseBenchResult(line string, m []string) (float64, map[string]float64, error) {
+	nsPerOp, err := strconv.ParseFloat(m[2], 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("parsing %q: %w", line, err)
+	}
+	metrics := map[string]float64{}
+	for _, pm := range metricPair.FindAllStringSubmatch(m[3], -1) {
+		v, err := strconv.ParseFloat(pm[1], 64)
+		if err != nil {
+			return 0, nil, fmt.Errorf("parsing metric %q in %q: %w", pm[0], line, err)
+		}
+		metrics[pm[2]] = v
+	}
+	return nsPerOp, metrics, nil
 }

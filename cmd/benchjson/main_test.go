@@ -87,3 +87,52 @@ BenchmarkObsOverhead/mode=instrumented-8 1 1900000000 ns/op
 		t.Errorf("regressPct = %v, want negative", rep.RegressPct)
 	}
 }
+
+func TestParseObsWithFlight(t *testing.T) {
+	out := `goos: linux
+BenchmarkObsOverhead/mode=noop-8         	       2	2000000000 ns/op	    844912 records/s
+BenchmarkObsOverhead/mode=instrumented-8 	       2	2060000000 ns/op	    823691 records/s
+BenchmarkFlightRecorder/mode=noop-8      	       2	2000000000 ns/op	    844912 records/s
+BenchmarkFlightRecorder/mode=recording-8 	       2	2040000000 ns/op	      5909 flight_events/op	830000 records/s
+PASS
+`
+	rep, err := parseObs(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flight == nil {
+		t.Fatal("flight comparison not parsed")
+	}
+	if rep.Flight.NoopNsPerOp != 2e9 || rep.Flight.RecordingNsPerOp != 2.04e9 {
+		t.Errorf("flight ns/op = %v / %v", rep.Flight.NoopNsPerOp, rep.Flight.RecordingNsPerOp)
+	}
+	if rep.Flight.RegressPct < 1.99 || rep.Flight.RegressPct > 2.01 {
+		t.Errorf("flight regressPct = %v, want ~2", rep.Flight.RegressPct)
+	}
+	if rep.Flight.Recording["flight_events/op"] != 5909 {
+		t.Errorf("flight recording metrics = %v", rep.Flight.Recording)
+	}
+}
+
+func TestParseObsWithoutFlightOmitted(t *testing.T) {
+	out := `BenchmarkObsOverhead/mode=noop-8 1 2000000000 ns/op
+BenchmarkObsOverhead/mode=instrumented-8 1 2010000000 ns/op
+`
+	rep, err := parseObs(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flight != nil {
+		t.Errorf("flight section present without its benchmark: %+v", rep.Flight)
+	}
+}
+
+func TestParseObsOneSidedFlight(t *testing.T) {
+	out := `BenchmarkObsOverhead/mode=noop-8 1 2000000000 ns/op
+BenchmarkObsOverhead/mode=instrumented-8 1 2010000000 ns/op
+BenchmarkFlightRecorder/mode=recording-8 1 2040000000 ns/op
+`
+	if _, err := parseObs(strings.NewReader(out)); err == nil {
+		t.Fatal("one-sided flight input accepted; the comparison needs both modes")
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loopscope/internal/core"
+)
+
+// TestExplainPrintsDecisionTrail runs -explain over the synthetic
+// single-loop fixture and checks the full lifecycle is narrated:
+// stream open, replica extension, validation, merge and finalization.
+func TestExplainPrintsDecisionTrail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "explain.lspt")
+	writeTestTrace(t, path, false, false)
+	cfg := core.DefaultConfig()
+
+	var buf bytes.Buffer
+	if err := runExplain(path, cfg, "all", "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		loopPrefix.String(),
+		"stream-open", "opened: first replica",
+		"replica", "extended: replica",
+		"validated",
+		"loop-open", "loop opened",
+		"merge", "merged into open loop",
+		"loop-final", "finalized",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain all output missing %q\n%s", want, out)
+		}
+	}
+
+	// Index selection prints exactly one trail.
+	buf.Reset()
+	if err := runExplain(path, cfg, "0", "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "loop-final"); got != 1 {
+		t.Errorf("explain 0 printed %d finalizations, want 1\n%s", got, buf.String())
+	}
+
+	// The header's ID selects the same trail.
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	fields := strings.Fields(header)
+	if len(fields) < 2 || fields[0] != "loop" {
+		t.Fatalf("unexpected trail header %q", header)
+	}
+	id := fields[1]
+	byIndex := buf.String()
+	buf.Reset()
+	if err := runExplain(path, cfg, id, "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != byIndex {
+		t.Errorf("explain by ID differs from explain by index:\n%s\nvs\n%s", buf.String(), byIndex)
+	}
+
+	// An unknown ID fails but lists what exists.
+	buf.Reset()
+	if err := runExplain(path, cfg, "feedfacefeedface", "", &buf); err == nil {
+		t.Error("unknown ID accepted")
+	} else if !strings.Contains(buf.String(), id) {
+		t.Errorf("unknown-ID listing does not mention %s:\n%s", id, buf.String())
+	}
+
+	// Out-of-range index fails.
+	if err := runExplain(path, cfg, "99", "", &buf); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

@@ -71,6 +71,10 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve live pipeline metrics over HTTP (/metrics, /debug/vars, /debug/pprof); a bare :port binds loopback only")
 		progress    = flag.Bool("progress", false, "report ingest rate, percent done, ETA and shard skew on stderr while running")
 		progressInt = flag.Duration("progress-interval", 2*time.Second, "reporting period for -progress")
+		explain     = flag.String("explain", "", `print one loop's flight-recorder decision trail: a loop index, an event ID, or "all"`)
+		explainSrc  = flag.String("explain-source", "", "source name mixed into event IDs by -explain; match the daemon's source name to look up journal IDs")
+		logLevel    = flag.String("log-level", "info", "minimum diagnostic log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -78,6 +82,20 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	level, lerr := obs.ParseLogLevel(*logLevel)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "loopdetect: %v\n", lerr)
+		os.Exit(2)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		fmt.Fprintf(os.Stderr, "loopdetect: bad -log-format %q: want text or json\n", *logFormat)
+		os.Exit(2)
+	}
+	// Diagnostics keep their historical `loopdetect: message` shape by
+	// default (text format, no timestamp); results stay on stdout.
+	logger = obs.NewLogger(obs.LogOptions{
+		Level: level, Format: *logFormat, Prefix: "loopdetect", NoTimestamp: true,
+	})
 
 	// SIGINT stops ingestion at the next record boundary; the partial
 	// trace is analyzed and the exit status becomes 3. Restoring the
@@ -88,7 +106,7 @@ func main() {
 	go func() {
 		<-sigc
 		interrupted.Store(true)
-		fmt.Fprintln(os.Stderr, "loopdetect: interrupt: finishing with the records read so far (^C again to kill)")
+		logger.Info("interrupt: finishing with the records read so far (^C again to kill)")
 		signal.Stop(sigc)
 	}()
 	traceFormat = *format
@@ -116,16 +134,17 @@ func main() {
 	if *metricsAddr != "" {
 		var err error
 		if srv, err = obs.StartServer(*metricsAddr, reg); err != nil {
-			fmt.Fprintln(os.Stderr, "loopdetect:", err)
+			logger.Error(err.Error())
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "loopdetect: serving metrics on http://%s/metrics\n", srv.Addr())
+		logger.Info("serving metrics", "url", "http://"+srv.Addr()+"/metrics")
 	}
 	if *progress {
 		prog = obs.NewProgress(reg, obs.ProgressOptions{Interval: *progressInt})
 		prog.Start()
 	}
 
+	explainSel, explainSource = *explain, *explainSrc
 	err := dispatch(flag.Arg(0), cfg, *streamMode, *jsonOut, *report, *extract, *extractOut, *showStreams, *showLoops)
 
 	// Shut the reporters down before exiting so the final progress
@@ -135,11 +154,11 @@ func main() {
 		srv.Close()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "loopdetect:", err)
+		logger.Error(err.Error())
 		os.Exit(1)
 	}
 	if interrupted.Load() {
-		fmt.Fprintln(os.Stderr, "loopdetect: interrupted; results above cover the partial trace")
+		logger.Info("interrupted; results above cover the partial trace")
 		os.Exit(3)
 	}
 }
@@ -151,6 +170,8 @@ var interrupted atomic.Bool
 // dispatch routes to the selected mode; exactly one mode runs.
 func dispatch(path string, cfg core.Config, streamMode, jsonOut, report bool, extract int, extractOut string, showStreams, showLoops bool) error {
 	switch {
+	case explainSel != "":
+		return runExplain(path, cfg, explainSel, explainSource, os.Stdout)
 	case streamMode:
 		return runStreaming(path, cfg)
 	case jsonOut:
@@ -166,14 +187,22 @@ func dispatch(path string, cfg core.Config, streamMode, jsonOut, report bool, ex
 // traceFormat is the -format flag value ("auto" or "erf").
 var traceFormat = "auto"
 
-// salvageMode, maxDecodeErrors, validateMode and workerCount mirror
-// the -salvage, -max-decode-errors, -validate and -workers flags.
+// salvageMode, maxDecodeErrors, validateMode, workerCount, explainSel
+// and explainSource mirror the -salvage, -max-decode-errors, -validate,
+// -workers, -explain and -explain-source flags.
 var (
 	salvageMode     = false
 	maxDecodeErrors = -1
 	validateMode    = false
 	workerCount     = 0
+	explainSel      = ""
+	explainSource   = ""
 )
+
+// logger carries the tool's stderr diagnostics (never results, which
+// go to stdout). The default mirrors the historical plain
+// `loopdetect: message` lines; -log-level and -log-format reshape it.
+var logger = obs.NewLogger(obs.LogOptions{Prefix: "loopdetect", NoTimestamp: true})
 
 // reg is the pipeline metrics registry, nil unless -metrics-addr,
 // -progress or -json asked for instrumentation: every instrumented
@@ -515,9 +544,7 @@ func runStreaming(path string, cfg core.Config) error {
 		}
 		if err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) && observed > 0 {
-				fmt.Fprintf(os.Stderr,
-					"loopdetect: warning: trace truncated mid-record after %d records; analyzing the partial trace\n",
-					observed)
+				logger.Warn("trace truncated mid-record; analyzing the partial trace", "records", observed)
 				break
 			}
 			if dstats != nil {
@@ -634,9 +661,7 @@ func loadRecords(path string) ([]trace.Record, trace.Meta, *trace.DecodeStats, e
 	sp.End()
 	if err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) && len(recs) > 0 {
-			fmt.Fprintf(os.Stderr,
-				"loopdetect: warning: trace truncated mid-record after %d records; analyzing the partial trace\n",
-				len(recs))
+			logger.Warn("trace truncated mid-record; analyzing the partial trace", "records", len(recs))
 		} else {
 			if stats != nil {
 				fmt.Fprint(os.Stderr, renderDecodeStats(*stats))

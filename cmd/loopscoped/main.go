@@ -12,6 +12,12 @@
 // "truncated"), a final checkpoint is written, and sinks are flushed
 // within -drain-timeout.
 //
+// A flight recorder (on by default, -flight-events 0 disables) keeps a
+// bounded ring of per-decision detector events; each emitted loop's
+// decision trail is sealed under its event ID and served at
+// /api/trace/{id}, linked from the /statusz page, and optionally
+// appended to a JSONL file (-trail-journal).
+//
 // Usage:
 //
 //	loopscoped [flags]
@@ -21,7 +27,7 @@
 //	loopscoped -tail /captures/backbone1.lspt -journal loops.jsonl
 //	loopscoped -tail bb1=/cap/bb1.lspt -tail bb2=/cap/bb2.lspt -checkpoint cp.json
 //	loopscoped -watch /captures/rotated/ -http :8080 -webhook http://noc/hook
-//	loopscoped -listen tcp:127.0.0.1:4444 -journal loops.jsonl
+//	loopscoped -listen tcp:127.0.0.1:4444 -journal loops.jsonl -log-format json
 //	tracegen -live-every 500 grow.lspt & loopscoped -tail grow.lspt -exit-idle 5s
 //
 // Source flags repeat; each takes "name=spec" or a bare spec (the name
@@ -33,7 +39,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -43,6 +48,7 @@ import (
 
 	"loopscope/internal/core"
 	"loopscope/internal/obs"
+	"loopscope/internal/obs/flight"
 	"loopscope/internal/serve"
 )
 
@@ -66,7 +72,7 @@ func main() {
 		journalKeep  = flag.Int("journal-keep", 3, "rotated journal generations to retain")
 		webhookURL   = flag.String("webhook", "", "POST each loop event as JSON to this URL")
 		webhookQueue = flag.Int("webhook-queue", 256, "webhook queue bound; overflow is dropped and counted")
-		httpAddr     = flag.String("http", "", "serve /healthz, /api/loops, /api/sources, /metrics, /debug/pprof; a bare :port binds loopback only")
+		httpAddr     = flag.String("http", "", "serve /healthz, /statusz, /api/loops, /api/sources, /api/trace, /metrics, /debug/pprof; a bare :port binds loopback only")
 		cpPath       = flag.String("checkpoint", "", "periodically write an atomic resume checkpoint here")
 		cpInterval   = flag.Duration("checkpoint-interval", time.Second, "checkpoint period")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for detector drain and sink flush")
@@ -74,6 +80,14 @@ func main() {
 		poll         = flag.Duration("poll", 200*time.Millisecond, "poll interval for file-backed sources")
 		dirGlob      = flag.String("watch-glob", "", "with -watch, only consume segment files matching this shell pattern")
 		ringSize     = flag.Int("ring", 1024, "recent events kept in memory for /api/loops")
+
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat    = flag.String("log-format", "text", "log output format: text or json")
+		flightEvents = flag.Int("flight-events", 4096, "flight-recorder ring capacity per detector shard (0: disable decision tracing)")
+		flightSample = flag.Int("flight-sample", 16, "after the first replicas of a stream, record every Nth replica append")
+		trailPath    = flag.String("trail-journal", "", "append each finalized loop's sealed decision trail to this JSONL file")
+		progress     = flag.Bool("progress", false, "report periodic progress lines on stderr")
+		progressInt  = flag.Duration("progress-interval", 2*time.Second, "progress reporting period")
 
 		minReplicas = flag.Int("min-replicas", 3, "smallest replica set reported as loop evidence")
 		minDelta    = flag.Int("ttl-delta", 2, "smallest acceptable TTL decrement between replicas")
@@ -93,8 +107,34 @@ func main() {
 		os.Exit(2)
 	}
 
-	logger := log.New(os.Stderr, "loopscoped: ", log.LstdFlags)
 	reg := obs.NewRegistry()
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loopscoped: %v\n", err)
+		os.Exit(2)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		fmt.Fprintf(os.Stderr, "loopscoped: bad -log-format %q: want text or json\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(obs.LogOptions{
+		Level: level, Format: *logFormat, Prefix: "loopscoped", Metrics: reg,
+	})
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
+
+	var fr *flight.Recorder
+	if *flightEvents > 0 {
+		fr = flight.New(flight.Options{
+			PerShardEvents: *flightEvents,
+			SampleEvery:    *flightSample,
+		})
+	} else if *trailPath != "" {
+		fatal(fmt.Errorf("-trail-journal needs the flight recorder; drop -flight-events 0"))
+	}
+
 	d, err := serve.New(serve.Config{
 		Detector: core.Config{
 			MinReplicas:    *minReplicas,
@@ -113,25 +153,27 @@ func main() {
 		DirGlob:            *dirGlob,
 		RingSize:           *ringSize,
 		Metrics:            reg,
-		Logf:               logger.Printf,
+		Logger:             logger,
+		Flight:             fr,
+		TrailPath:          *trailPath,
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 
 	for _, spec := range tails {
 		name, path := splitSpec(spec, func(p string) string { return trimExt(filepath.Base(p)) })
 		if err := d.AddTailSource(name, path); err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
-		logger.Printf("tailing %s as source %q", path, name)
+		logger.Info("tailing file", "path", path, "source", name)
 	}
 	for _, spec := range watches {
 		name, dir := splitSpec(spec, func(p string) string { return filepath.Base(filepath.Clean(p)) })
 		if err := d.AddDirSource(name, dir); err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
-		logger.Printf("watching %s as source %q", dir, name)
+		logger.Info("watching directory", "dir", dir, "source", name)
 	}
 	for i, spec := range listens {
 		idx := i
@@ -143,22 +185,22 @@ func main() {
 		})
 		network, addr, ok := strings.Cut(ep, ":")
 		if !ok || (network != "tcp" && network != "unix") {
-			logger.Fatalf("bad -listen %q: want tcp:host:port or unix:/path.sock", spec)
+			fatal(fmt.Errorf("bad -listen %q: want tcp:host:port or unix:/path.sock", spec))
 		}
 		bound, err := d.AddFeedSource(name, network, addr)
 		if err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
-		logger.Printf("listening on %s (%s) as source %q", bound, network, name)
+		logger.Info("listening", "addr", bound.String(), "network", network, "source", name)
 	}
 
 	if *journalPath != "" {
 		j, err := serve.NewJournal(serve.JournalOptions{
 			Path: *journalPath, MaxBytes: *journalMax, Keep: *journalKeep,
-			Metrics: reg, Logf: logger.Printf,
+			Metrics: reg, Logger: logger,
 		})
 		if err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
 		d.AddSink(j)
 	}
@@ -171,9 +213,18 @@ func main() {
 	var srv *obs.Server
 	if *httpAddr != "" {
 		if srv, err = obs.StartHandler(*httpAddr, d.Handler()); err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
-		logger.Printf("serving API on http://%s/ (healthz, api/loops, api/sources, metrics)", srv.Addr())
+		logger.Info("serving API", "url", "http://"+srv.Addr()+"/",
+			"endpoints", "healthz statusz api/loops api/sources api/trace metrics")
+	}
+
+	var pr *obs.Progress
+	if *progress {
+		pr = obs.NewProgress(reg, obs.ProgressOptions{Interval: *progressInt})
+		pr.SetOffset(d.Progress)
+		pr.SetSegments(d.Segments)
+		pr.Start()
 	}
 
 	// SIGTERM/SIGINT trigger one graceful drain; a second signal kills.
@@ -181,13 +232,16 @@ func main() {
 	defer stop()
 
 	err = d.Run(ctx)
+	if pr != nil {
+		pr.Stop()
+	}
 	if srv != nil {
 		srv.Close()
 	}
 	if err != nil && ctx.Err() == nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
-	logger.Printf("stopped")
+	logger.Info("stopped")
 }
 
 // splitSpec parses "name=value" source specs, deriving the name from

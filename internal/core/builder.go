@@ -65,6 +65,10 @@ type builder struct {
 	// done marks a builder already flushed/removed, so stale expiry
 	// queue entries skip it.
 	done bool
+	// frOpen marks that a stream-open event was recorded for this
+	// builder (flight recording is lazy: nothing is recorded until the
+	// second replica arrives).
+	frOpen bool
 	// extras are record indices of link-layer duplicate observations
 	// (same bytes, TTL decrement below MinTTLDelta): not replicas,
 	// but they belong to this packet for membership purposes.

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"loopscope/internal/obs/flight"
 	"loopscope/internal/packet"
 	"loopscope/internal/routing"
 	"loopscope/internal/trace"
@@ -33,6 +34,10 @@ type Detector struct {
 	parseErrors int
 	pairs       int
 
+	// fr, when non-nil, receives lifecycle events for the flight
+	// recorder. Recording never changes detection decisions.
+	fr *flight.ShardRecorder
+
 	// expiry is a FIFO of (builder, lastTime-when-enqueued) used to
 	// retire stale builders in amortized O(1) per record instead of
 	// sweeping the whole active map (which profiling showed at ~20%
@@ -55,6 +60,10 @@ func NewDetector(cfg Config) *Detector {
 		byPrefix: make(map[routing.Prefix][]int32),
 	}
 }
+
+// SetFlight attaches a flight-recorder shard. Call before the first
+// Observe; a nil shard (the default) keeps recording disabled.
+func (d *Detector) SetFlight(sr *flight.ShardRecorder) { d.fr = sr }
 
 // Observe processes the next trace record. Records must arrive in
 // non-decreasing time order.
@@ -88,7 +97,7 @@ func (d *Detector) Observe(rec trace.Record) {
 		d.startBuilder(h, masked, pfx, &pkt, rep)
 	case rec.Time-match.lastTime > d.cfg.MaxReplicaGap:
 		// Stale stream: close it and start fresh.
-		d.flush(match)
+		d.flush(match, flight.ReasonReplicaGap)
 		d.removeActive(match)
 		d.startBuilder(h, masked, pfx, &pkt, rep)
 	default:
@@ -97,6 +106,9 @@ func (d *Detector) Observe(rec trace.Record) {
 		case delta >= d.cfg.MinTTLDelta:
 			match.replicas = append(match.replicas, rep)
 			match.observe(pkt.IP.TTL, rec.Time)
+			if d.fr != nil {
+				d.frExtend(match, rep, delta)
+			}
 		case delta >= 0:
 			// Same bytes, TTL decrement below the loop threshold: a
 			// link-layer duplicate of the last observation. Record it
@@ -105,11 +117,15 @@ func (d *Detector) Observe(rec trace.Record) {
 			// stream.
 			match.extras = append(match.extras, idx)
 			match.observe(pkt.IP.TTL, rec.Time)
+			if d.fr != nil && match.frOpen && d.fr.SampleReplica(len(match.extras)) {
+				d.fr.Record(flight.Event{Time: rec.Time, Kind: flight.KindDuplicate,
+					Prefix: match.prefix, Stream: match.hash, TTL: pkt.IP.TTL, Delta: delta})
+			}
 		default:
 			// TTL went back up: a reappearance of the original
 			// packet (e.g. an identical retransmission through a
 			// middlebox). Close the old stream and start a new one.
-			d.flush(match)
+			d.flush(match, flight.ReasonTTLRise)
 			d.removeActive(match)
 			d.startBuilder(h, masked, pfx, &pkt, rep)
 		}
@@ -163,7 +179,7 @@ func (d *Detector) expire(now time.Duration) {
 			continue
 		}
 		if now-e.b.lastTime > d.cfg.MaxReplicaGap {
-			d.flush(e.b)
+			d.flush(e.b, flight.ReasonReplicaGap)
 			d.removeActive(e.b)
 		} else {
 			// Grew since enqueueing: check again later.
@@ -178,11 +194,31 @@ func (d *Detector) expire(now time.Duration) {
 	}
 }
 
+// frExtend records a sampled replica-extension event, lazily opening
+// the stream's flight record on its second replica so non-looping
+// traffic (single-replica builders) never touches the recorder.
+func (d *Detector) frExtend(b *builder, rep Replica, delta int) {
+	if !b.frOpen {
+		b.frOpen = true
+		first := b.replicas[0]
+		d.fr.Record(flight.Event{Time: first.Time, Kind: flight.KindStreamOpen,
+			Prefix: b.prefix, Stream: b.hash, TTL: first.TTL})
+	}
+	if n := len(b.replicas); d.fr.SampleReplica(n) {
+		d.fr.Record(flight.Event{Time: rep.Time, Kind: flight.KindReplica,
+			Prefix: b.prefix, Stream: b.hash, TTL: rep.TTL, Delta: delta, Count: n})
+	}
+}
+
 // flush retires a builder: single observations vanish, pairs are
 // counted as link-layer duplicates, larger sets become membership-
 // bearing candidate streams.
-func (d *Detector) flush(b *builder) {
+func (d *Detector) flush(b *builder, why flight.Reason) {
 	n := len(b.replicas)
+	if d.fr != nil && b.frOpen {
+		d.fr.Record(flight.Event{Time: b.lastTime, Kind: flight.KindStreamClose,
+			Reason: why, Prefix: b.prefix, Stream: b.hash, Count: n})
+	}
 	if n < d.cfg.MemberReplicas {
 		return
 	}
@@ -206,7 +242,7 @@ func (d *Detector) Finish() *Result {
 	for _, lst := range d.active {
 		for _, b := range lst {
 			if !b.done {
-				d.flush(b)
+				d.flush(b, flight.ReasonEndOfTrace)
 				b.done = true
 			}
 		}
@@ -226,14 +262,35 @@ func (d *Detector) Finish() *Result {
 	// Step 2: validation.
 	var candidates []*builder
 	for _, b := range d.flushed {
-		if len(b.replicas) < d.cfg.MinReplicas {
+		n := len(b.replicas)
+		if n < d.cfg.MinReplicas {
 			// Two-element sets (or anything below the evidence bar):
 			// not loop evidence on their own.
+			if d.fr != nil && b.frOpen {
+				why := flight.ReasonBelowMinReplicas
+				if n == 2 {
+					why = flight.ReasonPairDiscarded
+				}
+				d.fr.Record(flight.Event{Time: b.replicas[0].Time, Kind: flight.KindReject,
+					Reason: why, Prefix: b.prefix, Stream: b.hash, Count: n})
+			}
 			continue
 		}
-		if d.cfg.ValidateSubnet && !d.subnetClean(b.prefix, b.replicas[0].Time, b.replicas[len(b.replicas)-1].Time) {
+		if d.fr != nil && b.frOpen {
+			d.fr.Record(flight.Event{Time: b.replicas[0].Time, Kind: flight.KindCandidate,
+				Prefix: b.prefix, Stream: b.hash, Count: n})
+		}
+		if d.cfg.ValidateSubnet && !d.subnetClean(b.prefix, b.replicas[0].Time, b.replicas[n-1].Time) {
 			res.SubnetInvalidated++
+			if d.fr != nil && b.frOpen {
+				d.fr.Record(flight.Event{Time: b.replicas[0].Time, Kind: flight.KindReject,
+					Reason: flight.ReasonSubnetInvalidated, Prefix: b.prefix, Stream: b.hash, Count: n})
+			}
 			continue
+		}
+		if d.fr != nil && b.frOpen {
+			d.fr.Record(flight.Event{Time: b.replicas[0].Time, Kind: flight.KindValidated,
+				Prefix: b.prefix, Stream: b.hash, Count: n})
 		}
 		candidates = append(candidates, b)
 	}
@@ -304,6 +361,9 @@ func (d *Detector) merge(streams []*ReplicaStream) []*Loop {
 		})
 		cur := &Loop{Prefix: pfx, Streams: []*ReplicaStream{ss[0]},
 			Start: ss[0].Start(), End: ss[0].End()}
+		if d.fr != nil {
+			d.fr.Record(flight.Event{Time: cur.Start, Kind: flight.KindLoopOpen, Prefix: pfx})
+		}
 		for _, s := range ss[1:] {
 			switch {
 			case s.Start() <= cur.End:
@@ -312,20 +372,43 @@ func (d *Detector) merge(streams []*ReplicaStream) []*Loop {
 				if s.End() > cur.End {
 					cur.End = s.End()
 				}
+				if d.fr != nil {
+					d.fr.Record(flight.Event{Time: s.Start(), Kind: flight.KindMerge,
+						Prefix: pfx, Count: len(cur.Streams)})
+				}
 			case s.Start()-cur.End < d.cfg.MergeWindow &&
 				(!d.cfg.ValidateSubnet || d.subnetClean(pfx, cur.End, s.Start())):
 				// Close in time with no contradicting traffic in the
 				// gap: the loop simply had no detectable replicas for
 				// a while.
+				gap := s.Start() - cur.End
 				cur.Streams = append(cur.Streams, s)
 				if s.End() > cur.End {
 					cur.End = s.End()
 				}
+				if d.fr != nil {
+					d.fr.Record(flight.Event{Time: s.Start(), Kind: flight.KindMerge,
+						Prefix: pfx, Count: len(cur.Streams), Gap: gap})
+				}
 			default:
+				if d.fr != nil {
+					d.fr.Record(flight.Event{Time: cur.End, Kind: flight.KindLoopFinal,
+						Prefix: pfx, Count: len(cur.Streams)})
+					why := flight.ReasonDirtyGap
+					if s.Start()-cur.End >= d.cfg.MergeWindow {
+						why = flight.ReasonMergeGapWide
+					}
+					d.fr.Record(flight.Event{Time: s.Start(), Kind: flight.KindLoopOpen,
+						Reason: why, Prefix: pfx})
+				}
 				loops = append(loops, cur)
 				cur = &Loop{Prefix: pfx, Streams: []*ReplicaStream{s},
 					Start: s.Start(), End: s.End()}
 			}
+		}
+		if d.fr != nil {
+			d.fr.Record(flight.Event{Time: cur.End, Kind: flight.KindLoopFinal,
+				Prefix: pfx, Count: len(cur.Streams)})
 		}
 		loops = append(loops, cur)
 	}

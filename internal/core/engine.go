@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"loopscope/internal/obs"
+	"loopscope/internal/obs/flight"
 	"loopscope/internal/trace"
 )
 
@@ -83,6 +84,7 @@ type options struct {
 	emit      func(*Loop)
 	naive     bool
 	metrics   *obs.Registry
+	flight    *flight.Recorder
 }
 
 // Option configures New.
@@ -119,6 +121,17 @@ func WithMetrics(r *obs.Registry) Option {
 	return func(o *options) { o.metrics = r }
 }
 
+// WithFlight attaches a flight recorder: the engine records stream,
+// candidate and loop lifecycle events into it, keyed by destination
+// prefix, so a finalized loop's decision trail can be sealed and
+// explained afterwards. A nil recorder is the uninstrumented default
+// and costs one predictable branch per replica on the hot path.
+// Recording never changes detection results. The NaiveDetector
+// reference does not record.
+func WithFlight(rec *flight.Recorder) Option {
+	return func(o *options) { o.flight = rec }
+}
+
 // New constructs a detection engine. With no options it returns the
 // sequential batch Detector; WithWorkers, WithStreaming and WithNaive
 // select the other variants. The configuration is validated uniformly
@@ -150,6 +163,16 @@ func New(cfg Config, opts ...Option) (Engine, error) {
 		o.metrics.Gauge(obs.MetricEngineWorkers).Set(int64(workers))
 		if pd, ok := e.(*ParallelDetector); ok {
 			pd.Instrument(o.metrics)
+		}
+	}
+	if o.flight != nil {
+		switch det := e.(type) {
+		case *ParallelDetector:
+			det.SetFlightRecorder(o.flight)
+		case *Detector:
+			det.SetFlight(o.flight.Shard(0))
+		case *StreamDetector:
+			det.SetFlight(o.flight.Shard(0))
 		}
 	}
 	return e, nil

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"time"
 
+	"loopscope/internal/obs/flight"
 	"loopscope/internal/packet"
 	"loopscope/internal/routing"
 	"loopscope/internal/trace"
@@ -70,7 +71,7 @@ func (n *NaiveDetector) Observe(rec trace.Record) {
 	case match == nil:
 		n.open = append(n.open, fresh())
 	case rec.Time-match.lastTime > d.cfg.MaxReplicaGap:
-		d.flush(match)
+		d.flush(match, flight.ReasonReplicaGap)
 		n.remove(match)
 		n.open = append(n.open, fresh())
 	default:
@@ -83,7 +84,7 @@ func (n *NaiveDetector) Observe(rec trace.Record) {
 			match.extras = append(match.extras, idx)
 			match.observe(pkt.IP.TTL, rec.Time)
 		default:
-			d.flush(match)
+			d.flush(match, flight.ReasonTTLRise)
 			n.remove(match)
 			n.open = append(n.open, fresh())
 		}
@@ -93,7 +94,7 @@ func (n *NaiveDetector) Observe(rec trace.Record) {
 		kept := n.open[:0]
 		for _, b := range n.open {
 			if rec.Time-b.lastTime > d.cfg.MaxReplicaGap {
-				d.flush(b)
+				d.flush(b, flight.ReasonReplicaGap)
 			} else {
 				kept = append(kept, b)
 			}
@@ -117,7 +118,7 @@ func (n *NaiveDetector) remove(b *builder) {
 // merging.
 func (n *NaiveDetector) Finish() *Result {
 	for _, b := range n.open {
-		n.inner.flush(b)
+		n.inner.flush(b, flight.ReasonEndOfTrace)
 	}
 	n.open = nil
 	return n.inner.Finish()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"loopscope/internal/obs"
+	"loopscope/internal/obs/flight"
 	"loopscope/internal/trace"
 )
 
@@ -219,6 +220,19 @@ func (p *ParallelDetector) Instrument(r *obs.Registry) {
 	for i, s := range p.shards {
 		s.recs = r.Counter(obs.ShardMetric(obs.MetricShardRecords, i))
 		s.depth = r.Gauge(obs.ShardMetric(obs.MetricShardQueueDepth, i))
+	}
+}
+
+// SetFlightRecorder attaches a flight recorder, giving each worker
+// shard its own recorder shard so the hot paths never share a lock.
+// Call it before the first Observe (core.New does so when built
+// WithFlight); a nil recorder is the disabled default.
+func (p *ParallelDetector) SetFlightRecorder(r *flight.Recorder) {
+	if r == nil {
+		return
+	}
+	for i, s := range p.shards {
+		s.det.SetFlight(r.Shard(i))
 	}
 }
 

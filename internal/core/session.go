@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"loopscope/internal/obs/flight"
 	"loopscope/internal/trace"
 )
 
@@ -86,6 +87,11 @@ func (s *Session) onLoop(l *Loop) {
 	}
 	s.emit(SessionEvent{Loop: l, Seq: seq})
 }
+
+// SetFlight attaches a flight-recorder shard to the underlying
+// detector. Call before the first Observe; nil keeps recording
+// disabled.
+func (s *Session) SetFlight(sr *flight.ShardRecorder) { s.sd.SetFlight(sr) }
 
 // SetReplay arms suppression of the next n final emissions. Call it
 // once, before the first Observe, with the emitted count a checkpoint

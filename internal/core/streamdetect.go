@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"loopscope/internal/obs/flight"
 	"loopscope/internal/packet"
 	"loopscope/internal/routing"
 	"loopscope/internal/trace"
@@ -63,6 +64,10 @@ type StreamDetector struct {
 
 	// peakEntries gauges the bounded-memory claim in tests.
 	peakEntries int
+
+	// fr, when non-nil, receives lifecycle events for the flight
+	// recorder. Recording never changes detection decisions.
+	fr *flight.ShardRecorder
 }
 
 // pktEntry is the retained per-packet state: arrival time and whether
@@ -85,6 +90,9 @@ type sbuilder struct {
 	lastTTL   uint8
 	lastTime  time.Duration
 	firstTime time.Duration
+	// frOpen marks that a stream-open flight event was recorded (lazy:
+	// nothing is recorded until the second replica).
+	frOpen bool
 }
 
 // pendingStream is a flushed candidate awaiting validation.
@@ -130,6 +138,10 @@ func NewStreamDetector(cfg Config, emit func(*Loop)) *StreamDetector {
 	}
 	return d
 }
+
+// SetFlight attaches a flight-recorder shard. Call before the first
+// Observe; a nil shard (the default) keeps recording disabled.
+func (d *StreamDetector) SetFlight(sr *flight.ShardRecorder) { d.fr = sr }
 
 func (d *StreamDetector) state(p routing.Prefix) *prefixState {
 	ps := d.byPrefix[p]
@@ -182,7 +194,7 @@ func (d *StreamDetector) Observe(rec trace.Record) {
 	case match == nil:
 		start()
 	case rec.Time-match.lastTime > d.cfg.MaxReplicaGap:
-		d.flushStream(match)
+		d.flushStream(match, flight.ReasonReplicaGap)
 		d.removeActiveS(match)
 		start()
 	default:
@@ -192,11 +204,18 @@ func (d *StreamDetector) Observe(rec trace.Record) {
 			match.replicas = append(match.replicas, rep)
 			match.entries = append(match.entries, entry)
 			match.lastTTL, match.lastTime = rep.TTL, rep.Time
+			if d.fr != nil {
+				d.frExtendS(match, rep, delta)
+			}
 		case delta >= 0:
 			match.entries = append(match.entries, entry)
 			match.lastTTL, match.lastTime = rep.TTL, rep.Time
+			if d.fr != nil && match.frOpen && d.fr.SampleReplica(len(match.entries)-len(match.replicas)) {
+				d.fr.Record(flight.Event{Time: rec.Time, Kind: flight.KindDuplicate,
+					Prefix: match.prefix, Stream: match.hash, TTL: pkt.IP.TTL, Delta: delta})
+			}
 		default:
-			d.flushStream(match)
+			d.flushStream(match, flight.ReasonTTLRise)
 			d.removeActiveS(match)
 			start()
 		}
@@ -229,7 +248,7 @@ func (d *StreamDetector) sweepStale(now time.Duration) {
 		kept := lst[:0]
 		for _, b := range lst {
 			if now-b.lastTime > d.cfg.MaxReplicaGap {
-				d.flushStream(b)
+				d.flushStream(b, flight.ReasonReplicaGap)
 				delete(d.state(b.prefix).actives, b)
 			} else {
 				kept = append(kept, b)
@@ -243,10 +262,30 @@ func (d *StreamDetector) sweepStale(now time.Duration) {
 	}
 }
 
+// frExtendS records a sampled replica-extension event, lazily opening
+// the stream's flight record on its second replica so non-looping
+// traffic (single-replica builders) never touches the recorder.
+func (d *StreamDetector) frExtendS(b *sbuilder, rep Replica, delta int) {
+	if !b.frOpen {
+		b.frOpen = true
+		first := b.replicas[0]
+		d.fr.Record(flight.Event{Time: first.Time, Kind: flight.KindStreamOpen,
+			Prefix: b.prefix, Stream: b.hash, TTL: first.TTL})
+	}
+	if n := len(b.replicas); d.fr.SampleReplica(n) {
+		d.fr.Record(flight.Event{Time: rep.Time, Kind: flight.KindReplica,
+			Prefix: b.prefix, Stream: b.hash, TTL: rep.TTL, Delta: delta, Count: n})
+	}
+}
+
 // flushStream retires a builder: settle membership and queue loop
 // candidates.
-func (d *StreamDetector) flushStream(b *sbuilder) {
+func (d *StreamDetector) flushStream(b *sbuilder, why flight.Reason) {
 	n := len(b.replicas)
+	if d.fr != nil && b.frOpen {
+		d.fr.Record(flight.Event{Time: b.lastTime, Kind: flight.KindStreamClose,
+			Reason: why, Prefix: b.prefix, Stream: b.hash, Count: n})
+	}
 	if n < d.cfg.MemberReplicas {
 		return
 	}
@@ -257,7 +296,19 @@ func (d *StreamDetector) flushStream(b *sbuilder) {
 		e.member = true
 	}
 	if n < d.cfg.MinReplicas {
+		if d.fr != nil && b.frOpen {
+			why := flight.ReasonBelowMinReplicas
+			if n == 2 {
+				why = flight.ReasonPairDiscarded
+			}
+			d.fr.Record(flight.Event{Time: b.replicas[0].Time, Kind: flight.KindReject,
+				Reason: why, Prefix: b.prefix, Stream: b.hash, Count: n})
+		}
 		return
+	}
+	if d.fr != nil && b.frOpen {
+		d.fr.Record(flight.Event{Time: b.replicas[0].Time, Kind: flight.KindCandidate,
+			Prefix: b.prefix, Stream: b.hash, Count: n})
 	}
 	ps := d.state(b.prefix)
 	ps.pending = append(ps.pending, pendingStream{
@@ -348,7 +399,16 @@ func (d *StreamDetector) advance(pfx routing.Prefix, ps *prefixState, final bool
 		}
 		if d.cfg.ValidateSubnet && !ps.subnetCleanS(p.start, p.end) {
 			d.subnetInval++
+			if d.fr != nil && p.b.frOpen {
+				d.fr.Record(flight.Event{Time: p.start, Kind: flight.KindReject,
+					Reason: flight.ReasonSubnetInvalidated, Prefix: pfx,
+					Stream: p.b.hash, Count: len(p.b.replicas)})
+			}
 			continue
+		}
+		if d.fr != nil && p.b.frOpen {
+			d.fr.Record(flight.Event{Time: p.start, Kind: flight.KindValidated,
+				Prefix: pfx, Stream: p.b.hash, Count: len(p.b.replicas)})
 		}
 		s := &ReplicaStream{
 			ID:       d.streams,
@@ -388,14 +448,40 @@ func (d *StreamDetector) advance(pfx routing.Prefix, ps *prefixState, final bool
 		case ps.open == nil:
 			ps.open = &Loop{Prefix: pfx, Streams: []*ReplicaStream{s},
 				Start: s.Start(), End: s.End()}
-		case s.Start() <= ps.open.End,
-			s.Start()-ps.open.End < d.cfg.MergeWindow &&
-				(!d.cfg.ValidateSubnet || ps.subnetCleanS(ps.open.End, s.Start())):
+			if d.fr != nil {
+				d.fr.Record(flight.Event{Time: ps.open.Start, Kind: flight.KindLoopOpen, Prefix: pfx})
+			}
+		case s.Start() <= ps.open.End:
 			ps.open.Streams = append(ps.open.Streams, s)
 			if s.End() > ps.open.End {
 				ps.open.End = s.End()
 			}
+			if d.fr != nil {
+				d.fr.Record(flight.Event{Time: s.Start(), Kind: flight.KindMerge,
+					Prefix: pfx, Count: len(ps.open.Streams)})
+			}
+		case s.Start()-ps.open.End < d.cfg.MergeWindow &&
+			(!d.cfg.ValidateSubnet || ps.subnetCleanS(ps.open.End, s.Start())):
+			gap := s.Start() - ps.open.End
+			ps.open.Streams = append(ps.open.Streams, s)
+			if s.End() > ps.open.End {
+				ps.open.End = s.End()
+			}
+			if d.fr != nil {
+				d.fr.Record(flight.Event{Time: s.Start(), Kind: flight.KindMerge,
+					Prefix: pfx, Count: len(ps.open.Streams), Gap: gap})
+			}
 		default:
+			if d.fr != nil {
+				d.fr.Record(flight.Event{Time: ps.open.End, Kind: flight.KindLoopFinal,
+					Prefix: pfx, Count: len(ps.open.Streams)})
+				why := flight.ReasonDirtyGap
+				if s.Start()-ps.open.End >= d.cfg.MergeWindow {
+					why = flight.ReasonMergeGapWide
+				}
+				d.fr.Record(flight.Event{Time: s.Start(), Kind: flight.KindLoopOpen,
+					Reason: why, Prefix: pfx})
+			}
 			d.emit(ps.open)
 			ps.open = &Loop{Prefix: pfx, Streams: []*ReplicaStream{s},
 				Start: s.Start(), End: s.End()}
@@ -407,6 +493,10 @@ func (d *StreamDetector) advance(pfx routing.Prefix, ps *prefixState, final bool
 		_, earliest := ps.settleStart()
 		deadline := ps.open.End + d.cfg.MergeWindow
 		if final || (d.now > deadline && earliest > deadline) {
+			if d.fr != nil {
+				d.fr.Record(flight.Event{Time: ps.open.End, Kind: flight.KindLoopFinal,
+					Prefix: pfx, Count: len(ps.open.Streams)})
+			}
 			d.emit(ps.open)
 			ps.open = nil
 		}
@@ -491,7 +581,7 @@ func (d *StreamDetector) Finish() *Result {
 func (d *StreamDetector) FinishStats() StreamStats {
 	for _, lst := range d.active {
 		for _, b := range lst {
-			d.flushStream(b)
+			d.flushStream(b, flight.ReasonEndOfTrace)
 			delete(d.state(b.prefix).actives, b)
 		}
 	}

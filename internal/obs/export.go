@@ -53,6 +53,15 @@ func baseName(name string) string {
 	return name
 }
 
+// splitSeries separates a series name into its family and its label
+// body (without braces): `x{shard="3"}` -> (`x`, `shard="3"`).
+func splitSeries(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
 // WritePrometheus writes the registry in the Prometheus text
 // exposition format (version 0.0.4): counters and gauges as single
 // samples, histograms with cumulative _bucket/_sum/_count series, and
@@ -63,11 +72,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	snap := r.Snapshot()
 
+	header := func(base, kind string) {
+		fmt.Fprintf(bw, "# HELP %s %s\n", base, MetricHelp(base))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", base, kind)
+	}
 	writeFamily := func(kind string, values map[string]int64) {
 		lastBase := ""
 		for _, name := range sortedKeys(values) {
 			if b := baseName(name); b != lastBase {
-				fmt.Fprintf(bw, "# TYPE %s %s\n", b, kind)
+				header(b, kind)
 				lastBase = b
 			}
 			fmt.Fprintf(bw, "%s %d\n", name, values[name])
@@ -76,9 +89,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	writeFamily("counter", snap.Counters)
 	writeFamily("gauge", snap.Gauges)
 
+	// Histogram series may carry labels; the label body must stay
+	// inside the braces of each sample (base_bucket{labels,le="x"}),
+	// never in the family headers.
+	lastBase := ""
 	for _, name := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[name]
-		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		base, labels := splitSeries(name)
+		if base != lastBase {
+			header(base, "histogram")
+			lastBase = base
+		}
 		cum := int64(0)
 		for i, c := range h.Counts {
 			cum += c
@@ -86,19 +107,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if i < len(h.Bounds) {
 				le = fmt.Sprintf("%d", h.Bounds[i])
 			}
-			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, le, cum)
+			if labels == "" {
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", base, le, cum)
+			} else {
+				fmt.Fprintf(bw, "%s_bucket{%s,le=%q} %d\n", base, labels, le, cum)
+			}
 		}
-		fmt.Fprintf(bw, "%s_sum %d\n", name, h.Sum)
-		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(bw, "%s_sum%s %d\n", base, suffix, h.Sum)
+		fmt.Fprintf(bw, "%s_count%s %d\n", base, suffix, h.Count)
 	}
 
 	if len(snap.Stages) > 0 {
-		fmt.Fprintf(bw, "# TYPE loopscope_stage_seconds_total counter\n")
+		header("loopscope_stage_seconds_total", "counter")
 		for _, st := range snap.Stages {
 			fmt.Fprintf(bw, "loopscope_stage_seconds_total{stage=%q} %.9f\n",
 				st.Stage, st.Total.Seconds())
 		}
-		fmt.Fprintf(bw, "# TYPE loopscope_stage_runs_total counter\n")
+		header("loopscope_stage_runs_total", "counter")
 		for _, st := range snap.Stages {
 			fmt.Fprintf(bw, "loopscope_stage_runs_total{stage=%q} %d\n", st.Stage, st.Runs)
 		}

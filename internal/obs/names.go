@@ -48,7 +48,87 @@ const (
 	MetricServeSinkRetries     = "loopscope_serve_sink_retries_total"
 	MetricServeJournalDup      = "loopscope_serve_journal_duplicates_total"
 	MetricServeCheckpoints     = "loopscope_serve_checkpoints_total"
+
+	// Daemon self-observability: how far behind live each source is
+	// (bytes behind the tail / rotated segments behind the directory
+	// head), detection latency (trace-clock packet time to event
+	// emission), and when the last checkpoint landed.
+	MetricServeSourceLagSegments = "loopscope_serve_source_lag_segments"
+	MetricServeDetectLatencyNs   = "loopscope_serve_detect_latency_ns"
+	MetricServeCheckpointUnixNs  = "loopscope_serve_checkpoint_last_unix_ns"
+
+	// Structured logging: messages emitted per level (a rising error
+	// rate is scrapeable without log shipping). Series carry a level
+	// label; build names with LabelMetric.
+	MetricLogMessages = "loopscope_log_messages_total"
 )
+
+// DetectLatencyBounds are the default bucket upper bounds (in
+// nanoseconds) for the detection-latency histogram: 1ms to 5min. The
+// latency is dominated by the algorithm's decision horizon (MergeWindow
+// + settle barriers), so buckets span human-scale waits, not
+// microseconds.
+var DetectLatencyBounds = []int64{
+	int64(1e6), int64(1e7), int64(1e8), // 1ms, 10ms, 100ms
+	int64(1e9), int64(1e10), int64(6e10), int64(3e11), // 1s, 10s, 1min, 5min
+}
+
+// metricHelp holds one-line HELP strings per metric family for the
+// Prometheus exposition. Families not listed get a generic line; keep
+// entries terse and newline-free.
+var metricHelp = map[string]string{
+	MetricTraceRecords:      "Trace records decoded.",
+	MetricTraceCaptureBytes: "Captured snapshot bytes read.",
+	MetricTraceWireBytes:    "Original wire bytes represented by the capture.",
+	MetricTraceLossGaps:     "Capture loss gaps reported by the format.",
+	MetricTraceLostPackets:  "Packets the capture reports as lost.",
+
+	MetricSalvageRecords:      "Records decoded in salvage mode.",
+	MetricSalvageSalvaged:     "Records recovered after a resync.",
+	MetricSalvageErrors:       "Decode errors consumed by the salvage budget.",
+	MetricSalvageResyncs:      "Salvage resync scans performed.",
+	MetricSalvageBytesSkipped: "Bytes skipped while resyncing.",
+
+	MetricBatches:   "Record batches handed into the pipeline.",
+	MetricBatchFill: "Records in the most recent batch.",
+
+	MetricShardRecords:       "Records consumed per detector shard.",
+	MetricShardQueueDepth:    "Batches queued per detector shard.",
+	MetricBackpressureNs:     "Nanoseconds producers spent blocked on full shard queues.",
+	MetricBackpressureEvents: "Producer sends that blocked on a full shard queue.",
+	MetricEngineWorkers:      "Detector worker shards.",
+	MetricEngineBuilds:       "Detection engines constructed.",
+
+	MetricServeSourceRecords:     "Records consumed per source.",
+	MetricServeSourceLagBytes:    "Bytes between a source's read position and the newest capture data.",
+	MetricServeSourceRate:        "Recent per-source record rate.",
+	MetricServeSourceRestarts:    "Source supervisor restarts.",
+	MetricServeEventsFinal:       "Final loop events emitted.",
+	MetricServeEventsTruncated:   "Truncated loop events emitted during drain.",
+	MetricServeSinkQueueDepth:    "Events queued per sink.",
+	MetricServeSinkDelivered:     "Events delivered per sink.",
+	MetricServeSinkDropped:       "Events dropped per sink.",
+	MetricServeSinkRetries:       "Sink delivery retries.",
+	MetricServeJournalDup:        "Journal publishes suppressed as duplicates.",
+	MetricServeCheckpoints:       "Checkpoints written.",
+	MetricServeSourceLagSegments: "Rotated segments between a dir source's position and the directory head.",
+	MetricServeDetectLatencyNs:   "Nanoseconds from a loop's last packet (trace clock) to its emission.",
+	MetricServeCheckpointUnixNs:  "Unix time (ns) of the last successful checkpoint.",
+
+	MetricLogMessages: "Log messages emitted per level.",
+
+	"loopscope_stage_seconds_total": "Wall-clock seconds spent per pipeline stage.",
+	"loopscope_stage_runs_total":    "Completed spans per pipeline stage.",
+}
+
+// MetricHelp returns the HELP string for a metric family (the name
+// with any label suffix stripped).
+func MetricHelp(family string) string {
+	if h, ok := metricHelp[family]; ok {
+		return h
+	}
+	return "loopscope metric " + family + "."
+}
 
 // ShardMetric returns the per-shard series name for a shard-labelled
 // metric family, e.g. ShardMetric(MetricShardRecords, 3) =

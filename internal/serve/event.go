@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"loopscope/internal/core"
+	"loopscope/internal/obs/flight"
 )
 
 // Event is one routing-loop detection, the unit every sink consumes.
@@ -78,24 +79,10 @@ func newEvent(source, link string, se core.SessionEvent, now time.Time) Event {
 }
 
 // eventID hashes the loop's stable identity to a compact hex token.
+// The flight recorder owns the canonical implementation so a sealed
+// trail and the journal line for the same loop share one ID.
 func eventID(source, prefix string, startNs int64) string {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(s string) {
-		for i := 0; i < len(s); i++ {
-			h ^= uint64(s[i])
-			h *= prime64
-		}
-		h ^= 0xff
-		h *= prime64
-	}
-	mix(source)
-	mix(prefix)
-	mix(fmt.Sprintf("%d", startNs))
-	return fmt.Sprintf("%016x", h)
+	return flight.LoopID(source, prefix, startNs)
 }
 
 // Sink consumes loop events. Publish must be safe for concurrent use

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -15,6 +16,8 @@ import (
 //	/healthz        liveness: 200 + JSON status
 //	/api/loops      recent loop events, newest first (?n=, ?source=)
 //	/api/sources    per-source status
+//	/api/trace/{id} one loop's flight-recorder decision trail
+//	/statusz        human-readable daemon status page
 //
 // Serve it with obs.StartHandler for the loopback-by-default policy.
 func (d *Daemon) Handler() http.Handler {
@@ -22,10 +25,31 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("/healthz", d.handleHealthz)
 	mux.HandleFunc("/api/loops", d.handleLoops)
 	mux.HandleFunc("/api/sources", d.handleSources)
+	mux.HandleFunc("/api/trace/", d.handleTrace)
+	mux.HandleFunc("/statusz", d.handleStatusz)
 	if d.cfg.Metrics != nil {
 		mux.Handle("/", d.cfg.Metrics.Handler())
 	}
 	return mux
+}
+
+// handleTrace serves one sealed decision trail by loop event ID.
+func (d *Daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if d.cfg.Flight == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/api/trace/")
+	if id == "" {
+		writeJSON(w, http.StatusOK, map[string]any{"trails": d.cfg.Flight.TrailIDs()})
+		return
+	}
+	tr := d.cfg.Flight.Trail(id)
+	if tr == nil {
+		http.Error(w, "unknown trail "+id, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 // handleHealthz reports liveness and coarse progress.

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
 
@@ -24,8 +25,8 @@ type JournalOptions struct {
 	// Metrics receives the delivered/duplicate/dropped counters (may
 	// be nil).
 	Metrics *obs.Registry
-	// Logf logs write and rotation failures (nil: silent).
-	Logf func(format string, args ...any)
+	// Logger logs write and rotation failures (nil: silent).
+	Logger *slog.Logger
 }
 
 // Journal is the append-only JSONL event sink — the daemon's durable
@@ -43,6 +44,7 @@ type JournalOptions struct {
 // re-emission, not loss.
 type Journal struct {
 	opts JournalOptions
+	log  *slog.Logger
 
 	mu     sync.Mutex
 	f      *os.File
@@ -62,8 +64,13 @@ func NewJournal(opts JournalOptions) (*Journal, error) {
 	if opts.Keep <= 0 {
 		opts.Keep = 3
 	}
+	log := opts.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	j := &Journal{
 		opts:      opts,
+		log:       log,
 		seen:      make(map[string]struct{}),
 		delivered: opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDelivered, "sink", "journal")),
 		dups:      opts.Metrics.Counter(obs.MetricServeJournalDup),
@@ -112,13 +119,6 @@ func (j *Journal) loadSeen(path string) {
 // Name implements Sink.
 func (j *Journal) Name() string { return "journal" }
 
-// logf logs through opts.Logf when set.
-func (j *Journal) logf(format string, args ...any) {
-	if j.opts.Logf != nil {
-		j.opts.Logf(format, args...)
-	}
-}
-
 // Publish implements Sink: append the event as one JSON line, unless
 // its ID was already journaled. The journal is the pipeline's durable
 // record, so a failed write is never silent: it increments the sink's
@@ -128,7 +128,7 @@ func (j *Journal) Publish(e Event) {
 	data, err := json.Marshal(e)
 	if err != nil {
 		j.drops.Inc()
-		j.logf("journal: marshaling event %s: %v", e.ID, err)
+		j.log.Warn("journal: marshaling event failed", "event", e.ID, "err", err)
 		return
 	}
 	data = append(data, '\n')
@@ -140,7 +140,7 @@ func (j *Journal) Publish(e Event) {
 	}
 	if j.closed {
 		j.drops.Inc()
-		j.logf("journal: event %s published after Close; dropped", e.ID)
+		j.log.Warn("journal: event published after Close; dropped", "event", e.ID)
 		return
 	}
 	if j.opts.MaxBytes > 0 && j.size > 0 && j.size+int64(len(data)) > j.opts.MaxBytes {
@@ -157,7 +157,7 @@ func (j *Journal) Publish(e Event) {
 	}
 	if _, err := j.f.Write(data); err != nil {
 		j.drops.Inc()
-		j.logf("journal: writing event %s: %v", e.ID, err)
+		j.log.Warn("journal: writing event failed", "event", e.ID, "err", err)
 		return
 	}
 	j.size += int64(len(data))
@@ -184,7 +184,7 @@ func (j *Journal) rotateLocked() {
 func (j *Journal) reopenLocked() {
 	f, err := os.OpenFile(j.opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		j.logf("journal: reopening %s: %v", j.opts.Path, err)
+		j.log.Warn("journal: reopen failed", "path", j.opts.Path, "err", err)
 		return
 	}
 	size := int64(0)

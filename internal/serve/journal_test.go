@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"loopscope/internal/obs"
@@ -158,10 +159,10 @@ func TestJournalDropsCountedAndLogged(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "loops.jsonl")
 	reg := obs.NewRegistry()
-	var logged int
+	var logBuf strings.Builder
 	j, err := NewJournal(JournalOptions{
 		Path: path, Metrics: reg,
-		Logf: func(string, ...any) { logged++ },
+		Logger: obs.NewLogger(obs.LogOptions{W: &logBuf, NoTimestamp: true}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -186,8 +187,8 @@ func TestJournalDropsCountedAndLogged(t *testing.T) {
 	if got := drops.Value(); got != 1 {
 		t.Fatalf("dropped counter = %d, want 1", got)
 	}
-	if logged == 0 {
-		t.Fatal("drop was not logged")
+	if !strings.Contains(logBuf.String(), "journal") {
+		t.Fatalf("drop was not logged: %q", logBuf.String())
 	}
 
 	// Publish after Close is also counted, never silent.

@@ -4,13 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"loopscope/internal/core"
 	"loopscope/internal/obs"
+	"loopscope/internal/obs/flight"
 )
 
 // Config configures a Daemon.
@@ -41,8 +44,15 @@ type Config struct {
 	RingSize int
 	// Metrics receives the daemon's gauges and counters (may be nil).
 	Metrics *obs.Registry
-	// Logf logs operational events (nil: silent).
-	Logf func(format string, args ...any)
+	// Logger receives operational events (nil: silent).
+	Logger *slog.Logger
+	// Flight, when non-nil, records per-decision lifecycle events for
+	// every source's detector; finalized loops get their decision
+	// trail sealed under the event ID, served by /api/trace/{id}.
+	Flight *flight.Recorder
+	// TrailPath, when set (and Flight is non-nil), appends every
+	// sealed final-loop trail to this JSONL file.
+	TrailPath string
 }
 
 // Daemon is the continuous-operation core: sources in, detection in
@@ -51,14 +61,18 @@ type Config struct {
 // then Run it; cmd/loopscoped is a thin flag-parsing shell around
 // exactly that sequence.
 type Daemon struct {
-	cfg     Config
-	ring    *Ring
-	sinks   []Sink
-	sources []*sourceState
-	cp      *Checkpoint
+	cfg      Config
+	log      *slog.Logger
+	ring     *Ring
+	sinks    []Sink
+	sources  []*sourceState
+	cp       *Checkpoint
+	trailLog *TrailLog
 
-	started time.Time
-	cpC     *obs.Counter
+	started  time.Time
+	cpC      *obs.Counter
+	cpG      *obs.Gauge
+	cpLastNs atomic.Int64
 
 	idleMu   sync.Mutex
 	fatalErr error
@@ -85,8 +99,13 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.RingSize <= 0 {
 		cfg.RingSize = 1024
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	d := &Daemon{
 		cfg: cfg,
+		log: log,
 		// started is set here, not in Run: cmd/loopscoped serves
 		// Handler (whose /healthz reads it) before calling Run, so a
 		// write from Run would race — and report uptime-since-epoch
@@ -95,6 +114,7 @@ func New(cfg Config) (*Daemon, error) {
 		ring:    NewRing(cfg.RingSize),
 		stopped: make(chan struct{}),
 		cpC:     cfg.Metrics.Counter(obs.MetricServeCheckpoints),
+		cpG:     cfg.Metrics.Gauge(obs.MetricServeCheckpointUnixNs),
 	}
 	if cfg.CheckpointPath != "" {
 		cp, err := LoadCheckpoint(cfg.CheckpointPath)
@@ -103,14 +123,14 @@ func New(cfg Config) (*Daemon, error) {
 		}
 		d.cp = cp
 	}
-	return d, nil
-}
-
-// logf logs through cfg.Logf when set.
-func (d *Daemon) logf(format string, args ...any) {
-	if d.cfg.Logf != nil {
-		d.cfg.Logf(format, args...)
+	if cfg.TrailPath != "" && cfg.Flight != nil {
+		tl, err := NewTrailLog(cfg.TrailPath, log)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening trail log: %w", err)
+		}
+		d.trailLog = tl
 	}
+	return d, nil
 }
 
 // AddSink attaches a sink; every event from every source reaches it.
@@ -217,7 +237,7 @@ func (d *Daemon) sourceIdle() {
 	}
 	d.idleMu.Unlock()
 	if all {
-		d.logf("all sources idle for %v; stopping", d.cfg.ExitIdle)
+		d.log.Info("all sources idle; stopping", "idle", d.cfg.ExitIdle)
 		d.stop(nil)
 	}
 }
@@ -252,6 +272,9 @@ func (d *Daemon) checkpoint() error {
 		return err
 	}
 	d.cpC.Inc()
+	now := time.Now().UnixNano()
+	d.cpLastNs.Store(now)
+	d.cpG.Set(now)
 	return nil
 }
 
@@ -289,7 +312,7 @@ loop:
 			break loop
 		case <-ticker.C:
 			if err := d.checkpoint(); err != nil {
-				d.logf("checkpoint: %v", err)
+				d.log.Warn("checkpoint failed", "err", err)
 			}
 		}
 	}
@@ -311,14 +334,14 @@ loop:
 	select {
 	case <-waited:
 	case <-drainCtx.Done():
-		d.logf("drain: source runners did not stop within %v", d.cfg.DrainTimeout)
+		d.log.Warn("drain: source runners did not stop in time", "timeout", d.cfg.DrainTimeout)
 	}
 
 	for _, s := range d.sources {
 		s.drain()
 	}
 	if err := d.checkpoint(); err != nil {
-		d.logf("final checkpoint: %v", err)
+		d.log.Warn("final checkpoint failed", "err", err)
 	}
 	var firstErr error
 	for _, s := range d.sinks {
@@ -331,5 +354,6 @@ loop:
 			s.listener.Close()
 		}
 	}
+	d.trailLog.Close()
 	return firstErr
 }

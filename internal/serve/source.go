@@ -27,8 +27,14 @@ type SourceInfo struct {
 	Records  int64  `json:"records"`
 	Emitted  int    `json:"emitted"`
 	LagBytes int64  `json:"lagBytes"`
-	Restarts int64  `json:"restarts"`
-	LastErr  string `json:"lastError,omitempty"`
+	// Segment/Segments locate a dir source within its rotation
+	// sequence (1-based; zero for other kinds), and LagSegments counts
+	// rotated segments between it and the directory head.
+	Segment     int   `json:"segment,omitempty"`
+	Segments    int   `json:"segments,omitempty"`
+	LagSegments int64 `json:"lagSegments,omitempty"`
+	Restarts    int64 `json:"restarts"`
+	LastErr     string `json:"lastError,omitempty"`
 }
 
 // sourceState is one live source: its session, its checkpoint position
@@ -45,6 +51,10 @@ type sourceState struct {
 
 	run func(ctx context.Context) error
 
+	// flightShard fixes which recorder shard this source's sessions
+	// record into (assigned at registration, stable across restarts).
+	flightShard int
+
 	mu       sync.Mutex
 	sess     *core.Session
 	cp       SourceCheckpoint
@@ -55,11 +65,24 @@ type sourceState struct {
 	restarts int64
 	idle     bool
 
+	// dir-source position: 1-based index of the segment being
+	// consumed, total segments seen, bytes in segments after the
+	// current one, and bytes of segments fully consumed. posBytes is
+	// the read offset within the current file (tail and dir).
+	segIndex     int
+	segCount     int
+	lagSegments  int64
+	laterBytes   int64
+	segDoneBytes int64
+	posBytes     int64
+
 	recordsC  *obs.Counter
 	lagG      *obs.Gauge
+	lagSegsG  *obs.Gauge
 	restartsC *obs.Counter
 	finalC    *obs.Counter
 	truncC    *obs.Counter
+	latencyH  *obs.Histogram
 
 	// feed only
 	listener net.Listener
@@ -70,25 +93,46 @@ func (d *Daemon) newSourceState(name, kind, path string) *sourceState {
 	m := d.cfg.Metrics
 	return &sourceState{
 		d: d, name: name, kind: kind, path: path,
-		status:    "starting",
-		cp:        SourceCheckpoint{Kind: kind, Path: path},
-		recordsC:  m.Counter(obs.LabelMetric(obs.MetricServeSourceRecords, "source", name)),
-		lagG:      m.Gauge(obs.LabelMetric(obs.MetricServeSourceLagBytes, "source", name)),
-		restartsC: m.Counter(obs.LabelMetric(obs.MetricServeSourceRestarts, "source", name)),
-		finalC:    m.Counter(obs.LabelMetric(obs.MetricServeEventsFinal, "source", name)),
-		truncC:    m.Counter(obs.LabelMetric(obs.MetricServeEventsTruncated, "source", name)),
+		flightShard: len(d.sources),
+		status:      "starting",
+		cp:          SourceCheckpoint{Kind: kind, Path: path},
+		recordsC:    m.Counter(obs.LabelMetric(obs.MetricServeSourceRecords, "source", name)),
+		lagG:        m.Gauge(obs.LabelMetric(obs.MetricServeSourceLagBytes, "source", name)),
+		lagSegsG:    m.Gauge(obs.LabelMetric(obs.MetricServeSourceLagSegments, "source", name)),
+		restartsC:   m.Counter(obs.LabelMetric(obs.MetricServeSourceRestarts, "source", name)),
+		finalC:      m.Counter(obs.LabelMetric(obs.MetricServeEventsFinal, "source", name)),
+		truncC:      m.Counter(obs.LabelMetric(obs.MetricServeEventsTruncated, "source", name)),
+		latencyH:    m.Histogram(obs.LabelMetric(obs.MetricServeDetectLatencyNs, "source", name), obs.DetectLatencyBounds),
 	}
 }
 
 // emit is the session callback: render and publish, synchronously, so
-// that by the time Observe returns the event is journal-durable.
+// that by the time Observe returns the event is journal-durable. It
+// runs under s.mu (the session is only driven with the mutex held), so
+// reading the session's high-water mark here is safe. With a flight
+// recorder configured, the loop's decision trail is sealed under the
+// event ID before publication, so /api/trace/{id} can answer the
+// moment the event is visible anywhere downstream.
 func (s *sourceState) emit(se core.SessionEvent) {
 	if se.Truncated {
 		s.truncC.Inc()
 	} else {
 		s.finalC.Inc()
 	}
-	s.d.publish(newEvent(s.name, s.link, se, time.Now()))
+	ev := newEvent(s.name, s.link, se, time.Now())
+	// Detection latency on the trace clock: how far the stream had
+	// advanced past the loop's end before the detector could commit it.
+	if lat := int64(s.sess.HighWater() - se.Loop.End); lat >= 0 {
+		s.latencyH.Observe(lat)
+	}
+	if fr := s.d.cfg.Flight; fr != nil {
+		margin := s.d.cfg.Detector.MergeWindow + 2*s.d.cfg.Detector.MaxReplicaGap
+		tr := fr.Seal(ev.ID, se.Loop.Prefix, se.Loop.Start, se.Loop.End, margin)
+		if !se.Truncated {
+			s.d.trailLog.Write(tr)
+		}
+	}
+	s.d.publish(ev)
 }
 
 // newSession replaces the source's session with a fresh one. Caller
@@ -97,6 +141,9 @@ func (s *sourceState) newSessionLocked() error {
 	sess, err := core.NewSession(s.d.cfg.Detector, s.emit)
 	if err != nil {
 		return err
+	}
+	if fr := s.d.cfg.Flight; fr != nil {
+		sess.SetFlight(fr.Shard(s.flightShard))
 	}
 	s.sess = sess
 	return nil
@@ -161,7 +208,9 @@ func (s *sourceState) info() SourceInfo {
 		Name: s.name, Kind: s.kind, Path: s.path,
 		Status: s.status, Link: s.link,
 		Records: s.cp.Records, LagBytes: s.lagBytes,
-		Restarts: s.restarts, LastErr: s.lastErr,
+		Segment: s.segIndex, Segments: s.segCount,
+		LagSegments: s.lagSegments,
+		Restarts:    s.restarts, LastErr: s.lastErr,
 	}
 	if s.sess != nil {
 		inf.Emitted = s.sess.Emitted()
@@ -247,6 +296,7 @@ func (s *sourceState) runTail(ctx context.Context) error {
 				return err
 			}
 			s.mu.Lock()
+			s.posBytes = tr.Offset()
 			s.lagBytes = tr.Size() - tr.Offset()
 			s.lagG.Set(s.lagBytes)
 			s.mu.Unlock()
@@ -260,7 +310,7 @@ func (s *sourceState) runTail(ctx context.Context) error {
 			// The file this session described is gone. Flush what the
 			// detector was still holding as truncated evidence, then
 			// restart on the new file via the supervisor.
-			s.d.logf("source %s: %v; restarting on new file", s.name, err)
+			s.d.log.Info("tail file replaced; restarting on new file", "source", s.name, "err", err)
 			s.mu.Lock()
 			if s.sess != nil {
 				s.sess.Drain()
@@ -291,7 +341,7 @@ func (s *sourceState) replayTail(ctx context.Context, tr *trace.TailReader, resu
 		if err == nil {
 			size = st.Size()
 		}
-		s.d.logf("source %s: file is %d bytes, checkpoint claims %d; starting fresh", s.name, size, resume.Offset)
+		s.d.log.Warn("checkpoint ahead of file; starting fresh", "source", s.name, "fileBytes", size, "checkpointOffset", resume.Offset)
 		return false, nil
 	}
 	// Every byte the replay needs exists, so any idle wait means the
@@ -311,7 +361,7 @@ func (s *sourceState) replayTail(ctx context.Context, tr *trace.TailReader, resu
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return false, ctx.Err()
 			}
-			s.d.logf("source %s: replay failed after %d/%d records: %v", s.name, tr.Records(), resume.Records, err)
+			s.d.log.Warn("replay failed; starting fresh", "source", s.name, "records", tr.Records(), "claimed", resume.Records, "err", err)
 			return false, nil
 		}
 		s.mu.Lock()
@@ -319,8 +369,8 @@ func (s *sourceState) replayTail(ctx context.Context, tr *trace.TailReader, resu
 		s.mu.Unlock()
 	}
 	if tr.Records() != resume.Records || tr.Offset() != resume.Offset {
-		s.d.logf("source %s: replay ended at %d records / offset %d, checkpoint claims %d / %d",
-			s.name, tr.Records(), tr.Offset(), resume.Records, resume.Offset)
+		s.d.log.Warn("replay position disagrees with checkpoint; starting fresh", "source", s.name,
+			"records", tr.Records(), "offset", tr.Offset(), "claimedRecords", resume.Records, "claimedOffset", resume.Offset)
 		return false, nil
 	}
 	s.mu.Lock()
@@ -332,7 +382,7 @@ func (s *sourceState) replayTail(ctx context.Context, tr *trace.TailReader, resu
 		// Should not happen (the detector is deterministic over the
 		// prefix), but leftover suppression would permanently swallow
 		// the next new events; clearing risks only dedup-able repeats.
-		s.d.logf("source %s: replay ended with %d suppressed emissions pending; cleared", s.name, leftover)
+		s.d.log.Warn("replay ended with suppressed emissions pending; cleared", "source", s.name, "pending", leftover)
 	}
 	return true, nil
 }
@@ -370,7 +420,7 @@ func (s *sourceState) runDir(ctx context.Context) error {
 		if _, err := os.Stat(filepath.Join(s.path, resume.File)); err != nil {
 			// The checkpointed segment is gone (rotation cleaned it
 			// up): nothing to replay, start fresh on what remains.
-			s.d.logf("source %s: checkpointed segment %s missing; starting fresh", s.name, resume.File)
+			s.d.log.Info("checkpointed segment missing; starting fresh", "source", s.name, "segment", resume.File)
 			resume = SourceCheckpoint{Kind: s.kind, Path: s.path}
 			s.cp = resume
 		}
@@ -425,18 +475,50 @@ func (s *sourceState) runDir(ctx context.Context) error {
 	}
 }
 
-// hasNewerSegment reports whether a segment lexically after seg exists.
-func (s *sourceState) hasNewerSegment(seg string) bool {
+// refreshDirLag recomputes the dir source's position within its
+// segment sequence — segment i of N, rotated segments behind the
+// directory head, and the bytes still unread across the current and
+// all later segments — and reports whether a segment lexically after
+// seg exists (the old hasNewerSegment check, folded in so idle polling
+// lists the directory once).
+func (s *sourceState) refreshDirLag(seg string, tr *trace.TailReader) bool {
 	segs, err := s.listSegments()
 	if err != nil {
 		return false
 	}
-	for _, f := range segs {
+	idx, later, hasNewer := -1, int64(0), false
+	for i, f := range segs {
+		if f == seg {
+			idx = i
+		}
 		if f > seg {
-			return true
+			hasNewer = true
+			if st, err := os.Stat(filepath.Join(s.path, f)); err == nil {
+				later += st.Size()
+			}
 		}
 	}
-	return false
+	s.mu.Lock()
+	if idx >= 0 {
+		s.segIndex, s.segCount = idx+1, len(segs)
+		s.lagSegments = int64(len(segs) - 1 - idx)
+	}
+	s.laterBytes = later
+	s.lagBytes = (tr.Size() - tr.Offset()) + later
+	s.lagG.Set(s.lagBytes)
+	s.lagSegsG.Set(s.lagSegments)
+	s.mu.Unlock()
+	return hasNewer
+}
+
+// segmentDone retires a fully consumed segment from the position
+// accounting: its bytes move into the done total so Progress keeps a
+// monotone offset across rotations.
+func (s *sourceState) segmentDone(tr *trace.TailReader) {
+	s.mu.Lock()
+	s.segDoneBytes += tr.Offset()
+	s.posBytes = 0
+	s.mu.Unlock()
 }
 
 // listSegments returns the directory's trace files in lexical order.
@@ -478,6 +560,7 @@ func (s *sourceState) consumeSegment(ctx context.Context, seg string, baseWall *
 		return err
 	}
 	defer tr.Close()
+	s.refreshDirLag(seg, tr)
 
 	var (
 		segBase    time.Duration // shift applied to this segment's clock
@@ -528,8 +611,8 @@ func (s *sourceState) consumeSegment(ctx context.Context, seg string, baseWall *
 				// events instead).
 				s.sess.Observe(rec)
 				if tr.Records() == replayTarget && tr.Offset() != resume.Offset {
-					s.d.logf("source %s: segment %s replay offset %d != checkpoint %d (continuing; journal dedups)",
-						s.name, seg, tr.Offset(), resume.Offset)
+					s.d.log.Warn("segment replay offset disagrees with checkpoint (continuing; journal dedups)",
+						"source", s.name, "segment", seg, "offset", tr.Offset(), "claimed", resume.Offset)
 				}
 				s.mu.Unlock()
 				continue
@@ -541,6 +624,9 @@ func (s *sourceState) consumeSegment(ctx context.Context, seg string, baseWall *
 			s.cp.Emitted = s.sess.Emitted()
 			s.cp.HighWaterNs = int64(s.sess.HighWater())
 			s.cp.TimeBaseNs = int64(segBase)
+			s.posBytes = tr.Offset()
+			s.lagBytes = (tr.Size() - tr.Offset()) + s.laterBytes
+			s.lagG.Set(s.lagBytes)
 			s.idle = false
 			s.recordsC.Inc()
 			n := s.cp.Records
@@ -553,13 +639,16 @@ func (s *sourceState) consumeSegment(ctx context.Context, seg string, baseWall *
 		case errors.Is(err, trace.ErrTailIdle):
 			// Caught up with the segment's current end. If rotation
 			// has produced a successor the writer is done with this
-			// file; otherwise keep following it.
-			if s.hasNewerSegment(seg) {
+			// file; otherwise keep following it. The lag refresh doubles
+			// as the newer-segment check (one directory listing).
+			if s.refreshDirLag(seg, tr) {
+				s.segmentDone(tr)
 				return nil
 			}
 			s.markIdleMaybe(&idleSince)
 		case errors.Is(err, trace.ErrTailRotated), errors.Is(err, trace.ErrTailTruncated):
-			s.d.logf("source %s: segment %s: %v", s.name, seg, err)
+			s.d.log.Info("segment ended mid-read", "source", s.name, "segment", seg, "err", err)
+			s.segmentDone(tr)
 			return nil
 		default:
 			return err
@@ -638,7 +727,7 @@ func (s *sourceState) runFeed(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			s.d.logf("source %s: connection: %v", s.name, err)
+			s.d.log.Warn("feed connection failed", "source", s.name, "err", err)
 		}
 		s.setStatus("listening")
 	}
@@ -690,4 +779,33 @@ func (s *sourceState) serveConn(ctx context.Context, conn net.Conn) error {
 			return err
 		}
 	}
+}
+
+// Progress reports bytes consumed and total bytes known across all
+// file-backed sources, for the progress reporter's percentage/ETA. A
+// dir source's total covers every remaining segment, not just the open
+// file, so the ETA spans the whole backlog instead of resetting at
+// each rotation.
+func (d *Daemon) Progress() (offset, size int64) {
+	for _, s := range d.sources {
+		s.mu.Lock()
+		done := s.segDoneBytes + s.posBytes
+		offset += done
+		size += done + s.lagBytes
+		s.mu.Unlock()
+	}
+	return offset, size
+}
+
+// Segments reports dir-source rotation position summed across sources:
+// (current segment index, total segments seen). Non-dir sources
+// contribute nothing.
+func (d *Daemon) Segments() (current, total int) {
+	for _, s := range d.sources {
+		s.mu.Lock()
+		current += s.segIndex
+		total += s.segCount
+		s.mu.Unlock()
+	}
+	return current, total
 }

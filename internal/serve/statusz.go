@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"html/template"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"loopscope/internal/obs"
+	"loopscope/internal/obs/flight"
+)
+
+// statuszTmpl renders the human-readable daemon status page: one
+// glance answers "is it alive, is it keeping up, what has it found,
+// and can I see why" — the last via per-event links into /api/trace.
+var statuszTmpl = template.Must(template.New("statusz").Parse(`<!DOCTYPE html>
+<html><head><title>loopscoped status</title>
+<style>
+body { font-family: monospace; margin: 2em; }
+table { border-collapse: collapse; margin: 0.5em 0 1.5em; }
+th, td { border: 1px solid #999; padding: 0.25em 0.75em; text-align: left; }
+th { background: #eee; }
+.num { text-align: right; }
+</style></head><body>
+<h1>loopscoped</h1>
+<p>uptime {{.Uptime}}{{if .HasCheckpoint}} &middot; last checkpoint {{.CheckpointAge}} ago{{end}}
+ &middot; {{.Events}} events ({{.RingTotal}} in ring)</p>
+
+<h2>sources</h2>
+<table>
+<tr><th>name</th><th>kind</th><th>status</th><th class=num>records</th><th class=num>emitted</th><th class=num>lag</th><th>segment</th><th class=num>restarts</th><th>last error</th></tr>
+{{range .Sources}}<tr>
+<td>{{.Name}}</td><td>{{.Kind}}</td><td>{{.Status}}</td>
+<td class=num>{{.Records}}</td><td class=num>{{.Emitted}}</td>
+<td class=num>{{.LagBytes}} B{{if .LagSegments}} +{{.LagSegments}} seg{{end}}</td>
+<td>{{if .Segments}}{{.Segment}}/{{.Segments}}{{end}}</td>
+<td class=num>{{.Restarts}}</td><td>{{.LastErr}}</td>
+</tr>{{end}}
+</table>
+
+<h2>recent loops</h2>
+<table>
+<tr><th>id</th><th>source</th><th>prefix</th><th class=num>streams</th><th class=num>replicas</th><th class=num>duration</th><th>truncated</th></tr>
+{{range .Recent}}<tr>
+<td>{{if $.FlightOn}}<a href="/api/trace/{{.ID}}">{{.ID}}</a>{{else}}{{.ID}}{{end}}</td>
+<td>{{.Source}}</td><td>{{.Prefix}}</td>
+<td class=num>{{.Streams}}</td><td class=num>{{.Replicas}}</td>
+<td class=num>{{.Duration}}</td><td>{{if .Truncated}}yes{{end}}</td>
+</tr>{{end}}
+</table>
+
+{{if .FlightOn}}<h2>flight recorder</h2>
+<p>{{.Flight.Events}} events recorded &middot; {{.Flight.Sealed}} trails sealed &middot; {{.Flight.Trails}} retained ({{.Flight.Evicted}} evicted) &middot; {{.Flight.Shards}} shards</p>
+{{end}}
+
+{{if .LogCounts}}<h2>log messages</h2>
+<table><tr><th>level</th><th class=num>messages</th></tr>
+{{range .LogCounts}}<tr><td>{{.Level}}</td><td class=num>{{.Count}}</td></tr>{{end}}
+</table>{{end}}
+</body></html>
+`))
+
+type statuszRecent struct {
+	ID        string
+	Source    string
+	Prefix    string
+	Streams   int
+	Replicas  int
+	Duration  time.Duration
+	Truncated bool
+}
+
+type statuszLogCount struct {
+	Level string
+	Count int64
+}
+
+// handleStatusz renders the status page.
+func (d *Daemon) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	infos := make([]SourceInfo, 0, len(d.sources))
+	for _, s := range d.sources {
+		infos = append(infos, s.info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+
+	var recent []statuszRecent
+	for _, e := range d.ring.Latest(20) {
+		recent = append(recent, statuszRecent{
+			ID: e.ID, Source: e.Source, Prefix: e.Prefix,
+			Streams: e.Streams, Replicas: e.Replicas,
+			Duration:  time.Duration(e.DurationNs).Round(time.Millisecond),
+			Truncated: e.Truncated,
+		})
+	}
+
+	data := struct {
+		Uptime        time.Duration
+		HasCheckpoint bool
+		CheckpointAge time.Duration
+		Events        int64
+		RingTotal     int64
+		Sources       []SourceInfo
+		Recent        []statuszRecent
+		FlightOn      bool
+		Flight        flight.Stats
+		LogCounts     []statuszLogCount
+	}{
+		Uptime:    time.Since(d.started).Round(time.Second),
+		Events:    d.ring.Total(),
+		RingTotal: d.ring.Total(),
+		Sources:   infos,
+		Recent:    recent,
+		FlightOn:  d.cfg.Flight != nil,
+	}
+	if ns := d.cpLastNs.Load(); ns > 0 {
+		data.HasCheckpoint = true
+		data.CheckpointAge = time.Since(time.Unix(0, ns)).Round(time.Millisecond)
+	}
+	if data.FlightOn {
+		data.Flight = d.cfg.Flight.Stats()
+	}
+	if d.cfg.Metrics != nil {
+		prefix := obs.MetricLogMessages + "{"
+		snap := d.cfg.Metrics.Snapshot()
+		for name, v := range snap.Counters {
+			if !strings.HasPrefix(name, prefix) {
+				continue
+			}
+			level := strings.TrimSuffix(strings.TrimPrefix(name, prefix), `"}`)
+			level = strings.TrimPrefix(level, `level="`)
+			data.LogCounts = append(data.LogCounts, statuszLogCount{Level: level, Count: v})
+		}
+		sort.Slice(data.LogCounts, func(i, j int) bool {
+			return data.LogCounts[i].Level < data.LogCounts[j].Level
+		})
+	}
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := statuszTmpl.Execute(w, data); err != nil {
+		d.log.Warn("statusz render failed", "err", err)
+	}
+}

@@ -43,7 +43,7 @@ func (d *Daemon) supervise(ctx context.Context, s *sourceState) {
 		if errors.Is(err, errRestart) {
 			delay = base
 		} else {
-			d.logf("source %s: %v (restarting in ~%v)", s.name, err, delay)
+			d.log.Warn("source failed; restarting", "source", s.name, "err", err, "delay", delay)
 		}
 		// Full jitter: sleep uniformly in [delay/2, delay).
 		sleep := delay/2 + time.Duration(rng.Int63n(int64(delay/2)+1))

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"encoding/json"
+	"log/slog"
+	"os"
+	"sync"
+
+	"loopscope/internal/obs"
+	"loopscope/internal/obs/flight"
+)
+
+// TrailLog persists sealed flight-recorder trails as JSONL — one trail
+// (the full decision history behind one journaled loop event) per
+// line. It is deliberately append-only and dedup-free: trails are
+// keyed by the same deterministic loop ID as journal events, so a
+// consumer joins the two files on ID and resolves re-emission
+// duplicates exactly as it does for the journal.
+type TrailLog struct {
+	mu     sync.Mutex
+	f      *os.File
+	log    *slog.Logger
+	closed bool
+}
+
+// NewTrailLog opens (creating if needed) the trail log at path.
+func NewTrailLog(path string, log *slog.Logger) (*TrailLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	return &TrailLog{f: f, log: log}, nil
+}
+
+// Write appends one trail. Nil-safe: a nil receiver (trail persistence
+// disabled) and a nil trail (not sealed, e.g. ring overwritten) are
+// both no-ops.
+func (t *TrailLog) Write(tr *flight.Trail) {
+	if t == nil || tr == nil {
+		return
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.log.Warn("trail log: marshal failed", "trail", tr.ID, "err", err)
+		return
+	}
+	data = append(data, '\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.f == nil {
+		return
+	}
+	if _, err := t.f.Write(data); err != nil {
+		t.log.Warn("trail log: write failed", "trail", tr.ID, "err", err)
+	}
+}
+
+// Close releases the file. Nil-safe.
+func (t *TrailLog) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}

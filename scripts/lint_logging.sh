@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Logging-discipline lint: library code (internal/) must log through
+# the shared slog handler (obs.NewLogger) so every message respects
+# -log-level/-log-format and increments the per-level counters.
+# Direct log.Printf/fmt.Printf writes bypass all of that, so they are
+# banned outside cmd/ (whose user-facing stdout output is the product)
+# and tests.
+#
+# Usage: scripts/lint_logging.sh [repo-root]
+set -euo pipefail
+cd "${1:-$(dirname "$0")/..}"
+
+fail=0
+# log.Print*/log.Fatal*/log.Panic* — the stdlib global logger.
+# fmt.Printf/fmt.Println to stdout from library code.
+pattern='(\blog\.(Printf|Print|Println|Fatalf|Fatal|Fatalln|Panicf|Panic|Panicln)\(|\bfmt\.(Printf|Println|Print)\()'
+while IFS= read -r hit; do
+  # Allow the syncWriter plumbing comment style: only flag real calls.
+  echo "lint_logging: $hit"
+  fail=1
+done < <(grep -RnE "$pattern" internal/ --include='*.go' \
+  | grep -v '_test.go:' \
+  | grep -vE '^\S+:[0-9]+:\s*//' || true)
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint_logging: library code must use the obs slog logger (obs.NewLogger); printing belongs in cmd/" >&2
+  exit 1
+fi
+echo "lint_logging: OK"

@@ -76,3 +76,65 @@ if [ -n "$dups" ]; then
     exit 1
 fi
 echo "OK: $(echo "$ref_finals" | wc -l) final loops, identical sets, no duplicate IDs"
+
+echo "== observability run: /statusz and /api/trace round-trip"
+if command -v curl >/dev/null 2>&1; then
+    fetch() { curl -fsS "$1"; }
+elif command -v wget >/dev/null 2>&1; then
+    fetch() { wget -qO- "$1"; }
+else
+    echo "SKIP: neither curl nor wget available for the HTTP phase"
+    exit 0
+fi
+
+"$work/bin/loopscoped" -tail "trace=$work/ref.lspt" -journal "$work/api.jsonl" \
+    -poll 25ms -checkpoint-interval 100ms -merge-window 2s -exit-idle 60s \
+    -http 127.0.0.1:0 -trail-journal "$work/trails.jsonl" 2>"$work/api.log" &
+apid=$!
+api_cleanup() { kill "$apid" 2>/dev/null || true; wait "$apid" 2>/dev/null || true; }
+
+# The daemon logs the bound address once the listener is up.
+url=""
+for _ in $(seq 1 100); do
+    url="$(sed -n 's|.*serving API url=\(http://[^ ]*\).*|\1|p' "$work/api.log" | head -n1)"
+    [ -n "$url" ] && break
+    sleep 0.1
+done
+if [ -z "$url" ]; then
+    echo "FAIL: daemon never announced its HTTP API" >&2
+    cat "$work/api.log" >&2
+    api_cleanup
+    exit 1
+fi
+
+# Wait for the first finalized loop so a sealed trail exists.
+fid=""
+for _ in $(seq 1 300); do
+    fid="$( (final_ids "$work/api.jsonl" 2>/dev/null || true) | head -n1)"
+    [ -n "$fid" ] && break
+    sleep 0.1
+done
+if [ -z "$fid" ]; then
+    echo "FAIL: no finalized loop journaled while the API daemon ran" >&2
+    api_cleanup
+    exit 1
+fi
+
+if ! fetch "${url}statusz" | grep -q "loopscoped"; then
+    echo "FAIL: /statusz did not return the status page" >&2
+    api_cleanup
+    exit 1
+fi
+if ! fetch "${url}api/trace/$fid" | grep -q "\"id\": \"$fid\""; then
+    echo "FAIL: /api/trace/$fid did not return the sealed trail" >&2
+    fetch "${url}api/trace/" >&2 || true
+    api_cleanup
+    exit 1
+fi
+kill "$apid"
+wait "$apid" 2>/dev/null || true
+if ! grep -q "$fid" "$work/trails.jsonl"; then
+    echo "FAIL: trail journal is missing loop $fid" >&2
+    exit 1
+fi
+echo "OK: /statusz served, trail $fid round-tripped via /api/trace and the trail journal"
