@@ -18,6 +18,12 @@
 // /api/trace/{id}, linked from the /statusz page, and optionally
 // appended to a JSONL file (-trail-journal).
 //
+// The daemon protects itself under failure and overload: torn journal
+// and checkpoint tails left by crashes are quarantined on startup, a
+// memory governor (-max-streams) bounds detector state under IPID
+// collision storms, the webhook sink sits behind a circuit breaker,
+// and per-component health is reported on /healthz and /statusz.
+//
 // Usage:
 //
 //	loopscoped [flags]
@@ -37,8 +43,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -62,67 +70,91 @@ func (m *multiFlag) Set(v string) error {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: parse args, build the daemon, run it.
+// Exit codes: 0 clean (including -h), 2 for usage and configuration
+// errors (nothing started), 1 for runtime failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loopscoped", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var tails, watches, listens multiFlag
-	flag.Var(&tails, "tail", "follow a growing native trace file: [name=]path (repeatable)")
-	flag.Var(&watches, "watch", "process a rotated-capture directory in segment order: [name=]dir (repeatable)")
-	flag.Var(&listens, "listen", "accept native trace streams: [name=]tcp:host:port or [name=]unix:/path.sock (repeatable)")
+	fs.Var(&tails, "tail", "follow a growing native trace file: [name=]path (repeatable)")
+	fs.Var(&watches, "watch", "process a rotated-capture directory in segment order: [name=]dir (repeatable)")
+	fs.Var(&listens, "listen", "accept native trace streams: [name=]tcp:host:port or [name=]unix:/path.sock (repeatable)")
 	var (
-		journalPath  = flag.String("journal", "", "append loop events to this JSONL file")
-		journalMax   = flag.Int64("journal-max-bytes", 64<<20, "rotate the journal when it would exceed this size (0: never)")
-		journalKeep  = flag.Int("journal-keep", 3, "rotated journal generations to retain")
-		webhookURL   = flag.String("webhook", "", "POST each loop event as JSON to this URL")
-		webhookQueue = flag.Int("webhook-queue", 256, "webhook queue bound; overflow is dropped and counted")
-		httpAddr     = flag.String("http", "", "serve /healthz, /statusz, /api/loops, /api/sources, /api/trace, /metrics, /debug/pprof; a bare :port binds loopback only")
-		cpPath       = flag.String("checkpoint", "", "periodically write an atomic resume checkpoint here")
-		cpInterval   = flag.Duration("checkpoint-interval", time.Second, "checkpoint period")
-		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for detector drain and sink flush")
-		exitIdle     = flag.Duration("exit-idle", 0, "exit cleanly once every source has been idle this long (0: run forever)")
-		poll         = flag.Duration("poll", 200*time.Millisecond, "poll interval for file-backed sources")
-		dirGlob      = flag.String("watch-glob", "", "with -watch, only consume segment files matching this shell pattern")
-		ringSize     = flag.Int("ring", 1024, "recent events kept in memory for /api/loops")
+		journalPath  = fs.String("journal", "", "append loop events to this JSONL file")
+		journalMax   = fs.Int64("journal-max-bytes", 64<<20, "rotate the journal when it would exceed this size (0: never)")
+		journalKeep  = fs.Int("journal-keep", 3, "rotated journal generations to retain")
+		webhookURL   = fs.String("webhook", "", "POST each loop event as JSON to this URL")
+		webhookQueue = fs.Int("webhook-queue", 256, "webhook queue bound; overflow is dropped and counted")
+		httpAddr     = fs.String("http", "", "serve /healthz, /statusz, /api/loops, /api/sources, /api/trace, /metrics, /debug/pprof; a bare :port binds loopback only")
+		cpPath       = fs.String("checkpoint", "", "periodically write an atomic resume checkpoint here")
+		cpInterval   = fs.Duration("checkpoint-interval", time.Second, "checkpoint period")
+		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for detector drain and sink flush")
+		exitIdle     = fs.Duration("exit-idle", 0, "exit cleanly once every source has been idle this long (0: run forever)")
+		poll         = fs.Duration("poll", 200*time.Millisecond, "poll interval for file-backed sources")
+		pollMax      = fs.Duration("poll-max", 0, "let quiet tail sources back their poll interval off up to this bound (0: fixed -poll rate)")
+		dirGlob      = fs.String("watch-glob", "", "with -watch, only consume segment files matching this shell pattern")
+		ringSize     = fs.Int("ring", 1024, "recent events kept in memory for /api/loops")
+		fsyncMode    = fs.String("fsync", "off", "journal/trail flush policy: off (OS-buffered) or always (fsync per event)")
+		maxStreams   = fs.Int("max-streams", 65536, "memory governor: live replica streams per source before cold ones are shed (0: unlimited)")
 
-		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
-		logFormat    = flag.String("log-format", "text", "log output format: text or json")
-		flightEvents = flag.Int("flight-events", 4096, "flight-recorder ring capacity per detector shard (0: disable decision tracing)")
-		flightSample = flag.Int("flight-sample", 16, "after the first replicas of a stream, record every Nth replica append")
-		trailPath    = flag.String("trail-journal", "", "append each finalized loop's sealed decision trail to this JSONL file")
-		progress     = flag.Bool("progress", false, "report periodic progress lines on stderr")
-		progressInt  = flag.Duration("progress-interval", 2*time.Second, "progress reporting period")
+		logLevel     = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat    = fs.String("log-format", "text", "log output format: text or json")
+		flightEvents = fs.Int("flight-events", 4096, "flight-recorder ring capacity per detector shard (0: disable decision tracing)")
+		flightSample = fs.Int("flight-sample", 16, "after the first replicas of a stream, record every Nth replica append")
+		trailPath    = fs.String("trail-journal", "", "append each finalized loop's sealed decision trail to this JSONL file")
+		progress     = fs.Bool("progress", false, "report periodic progress lines on stderr")
+		progressInt  = fs.Duration("progress-interval", 2*time.Second, "progress reporting period")
 
-		minReplicas = flag.Int("min-replicas", 3, "smallest replica set reported as loop evidence")
-		minDelta    = flag.Int("ttl-delta", 2, "smallest acceptable TTL decrement between replicas")
-		prefixBits  = flag.Int("prefix-bits", 24, "destination aggregation width for validation/merging")
-		mergeWindow = flag.Duration("merge-window", time.Minute, "gap within which same-prefix streams merge")
-		replicaGap  = flag.Duration("replica-gap", 2*time.Second, "max spacing between successive replicas")
-		noValidate  = flag.Bool("no-validate", false, "disable the step-2 subnet validation")
+		minReplicas = fs.Int("min-replicas", 3, "smallest replica set reported as loop evidence")
+		minDelta    = fs.Int("ttl-delta", 2, "smallest acceptable TTL decrement between replicas")
+		prefixBits  = fs.Int("prefix-bits", 24, "destination aggregation width for validation/merging")
+		mergeWindow = fs.Duration("merge-window", time.Minute, "gap within which same-prefix streams merge")
+		replicaGap  = fs.Duration("replica-gap", 2*time.Second, "max spacing between successive replicas")
+		noValidate  = fs.Bool("no-validate", false, "disable the step-2 subnet validation")
 	)
-	flag.Parse()
-	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: loopscoped [flags]   (sources come from -tail/-watch/-listen)")
-		flag.PrintDefaults()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: loopscoped [flags]   (sources come from -tail/-watch/-listen)")
+		fs.PrintDefaults()
+		return 2
 	}
 	if len(tails)+len(watches)+len(listens) == 0 {
-		fmt.Fprintln(os.Stderr, "loopscoped: no sources; give at least one -tail, -watch or -listen")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "loopscoped: no sources; give at least one -tail, -watch or -listen")
+		return 2
 	}
 
 	reg := obs.NewRegistry()
 	level, err := obs.ParseLogLevel(*logLevel)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "loopscoped: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "loopscoped: %v\n", err)
+		return 2
 	}
 	if *logFormat != "text" && *logFormat != "json" {
-		fmt.Fprintf(os.Stderr, "loopscoped: bad -log-format %q: want text or json\n", *logFormat)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "loopscoped: bad -log-format %q: want text or json\n", *logFormat)
+		return 2
+	}
+	fsync, err := serve.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintf(stderr, "loopscoped: bad -fsync %q: want off or always\n", *fsyncMode)
+		return 2
 	}
 	logger := obs.NewLogger(obs.LogOptions{
-		Level: level, Format: *logFormat, Prefix: "loopscoped", Metrics: reg,
+		Level: level, Format: *logFormat, Prefix: "loopscoped", Metrics: reg, W: stderr,
 	})
-	fatal := func(err error) {
-		logger.Error(err.Error())
-		os.Exit(1)
+	// Configuration mistakes before anything started exit 2 so init
+	// systems distinguish "fix the flags" from "the daemon died".
+	usage := func(err error) int {
+		fmt.Fprintf(stderr, "loopscoped: %v\n", err)
+		return 2
 	}
 
 	var fr *flight.Recorder
@@ -132,46 +164,49 @@ func main() {
 			SampleEvery:    *flightSample,
 		})
 	} else if *trailPath != "" {
-		fatal(fmt.Errorf("-trail-journal needs the flight recorder; drop -flight-events 0"))
+		return usage(fmt.Errorf("-trail-journal needs the flight recorder; drop -flight-events 0"))
 	}
 
 	d, err := serve.New(serve.Config{
 		Detector: core.Config{
-			MinReplicas:    *minReplicas,
-			MinTTLDelta:    *minDelta,
-			MemberReplicas: 2,
-			PrefixBits:     *prefixBits,
-			MaxReplicaGap:  *replicaGap,
-			MergeWindow:    *mergeWindow,
-			ValidateSubnet: !*noValidate,
+			MinReplicas:      *minReplicas,
+			MinTTLDelta:      *minDelta,
+			MemberReplicas:   2,
+			PrefixBits:       *prefixBits,
+			MaxReplicaGap:    *replicaGap,
+			MergeWindow:      *mergeWindow,
+			ValidateSubnet:   !*noValidate,
+			MaxActiveStreams: *maxStreams,
 		},
 		CheckpointPath:     *cpPath,
 		CheckpointInterval: *cpInterval,
 		DrainTimeout:       *drainTimeout,
 		ExitIdle:           *exitIdle,
 		TailPoll:           *poll,
+		TailPollMax:        *pollMax,
 		DirGlob:            *dirGlob,
 		RingSize:           *ringSize,
+		Fsync:              fsync,
 		Metrics:            reg,
 		Logger:             logger,
 		Flight:             fr,
 		TrailPath:          *trailPath,
 	})
 	if err != nil {
-		fatal(err)
+		return usage(err)
 	}
 
 	for _, spec := range tails {
 		name, path := splitSpec(spec, func(p string) string { return trimExt(filepath.Base(p)) })
 		if err := d.AddTailSource(name, path); err != nil {
-			fatal(err)
+			return usage(err)
 		}
 		logger.Info("tailing file", "path", path, "source", name)
 	}
 	for _, spec := range watches {
 		name, dir := splitSpec(spec, func(p string) string { return filepath.Base(filepath.Clean(p)) })
 		if err := d.AddDirSource(name, dir); err != nil {
-			fatal(err)
+			return usage(err)
 		}
 		logger.Info("watching directory", "dir", dir, "source", name)
 	}
@@ -185,11 +220,11 @@ func main() {
 		})
 		network, addr, ok := strings.Cut(ep, ":")
 		if !ok || (network != "tcp" && network != "unix") {
-			fatal(fmt.Errorf("bad -listen %q: want tcp:host:port or unix:/path.sock", spec))
+			return usage(fmt.Errorf("bad -listen %q: want tcp:host:port or unix:/path.sock", spec))
 		}
 		bound, err := d.AddFeedSource(name, network, addr)
 		if err != nil {
-			fatal(err)
+			return usage(err)
 		}
 		logger.Info("listening", "addr", bound.String(), "network", network, "source", name)
 	}
@@ -197,23 +232,25 @@ func main() {
 	if *journalPath != "" {
 		j, err := serve.NewJournal(serve.JournalOptions{
 			Path: *journalPath, MaxBytes: *journalMax, Keep: *journalKeep,
+			Fsync: fsync, Health: d.Health(),
 			Metrics: reg, Logger: logger,
 		})
 		if err != nil {
-			fatal(err)
+			return usage(err)
 		}
 		d.AddSink(j)
 	}
 	if *webhookURL != "" {
 		d.AddSink(serve.NewWebhook(serve.WebhookOptions{
-			URL: *webhookURL, QueueSize: *webhookQueue, Metrics: reg,
+			URL: *webhookURL, QueueSize: *webhookQueue,
+			Health: d.Health(), Metrics: reg,
 		}))
 	}
 
 	var srv *obs.Server
 	if *httpAddr != "" {
 		if srv, err = obs.StartHandler(*httpAddr, d.Handler()); err != nil {
-			fatal(err)
+			return usage(err)
 		}
 		logger.Info("serving API", "url", "http://"+srv.Addr()+"/",
 			"endpoints", "healthz statusz api/loops api/sources api/trace metrics")
@@ -239,9 +276,11 @@ func main() {
 		srv.Close()
 	}
 	if err != nil && ctx.Err() == nil {
-		fatal(err)
+		logger.Error(err.Error())
+		return 1
 	}
 	logger.Info("stopped")
+	return 0
 }
 
 // splitSpec parses "name=value" source specs, deriving the name from

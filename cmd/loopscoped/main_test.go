@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"loopscope/internal/trace"
+)
+
+// runCLI invokes run with captured output.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// writeEmptyTrace creates a valid native trace file with no records.
+func writeEmptyTrace(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, trace.Meta{Link: "test", Start: time.Unix(1700000000, 0), SnapLen: trace.DefaultSnapLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	code, _, stderr := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	for _, flag := range []string{"-tail", "-journal", "-fsync", "-max-streams", "-poll-max", "-checkpoint"} {
+		if !strings.Contains(stderr, flag) {
+			t.Errorf("-h output does not document %s", flag)
+		}
+	}
+}
+
+func TestRunNoSourcesUsageError(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code != 2 {
+		t.Fatalf("no sources exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "no sources") {
+		t.Errorf("stderr does not explain the problem: %q", stderr)
+	}
+}
+
+func TestRunUnknownFlagUsageError(t *testing.T) {
+	code, _, stderr := runCLI(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("unknown flag exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "definitely-not-a-flag") {
+		t.Errorf("stderr does not name the bad flag: %q", stderr)
+	}
+}
+
+func TestRunPositionalArgsUsageError(t *testing.T) {
+	code, _, _ := runCLI(t, "stray-positional")
+	if code != 2 {
+		t.Fatalf("positional arg exited %d, want 2", code)
+	}
+}
+
+func TestRunConfigValidationErrors(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.lspt")
+	writeEmptyTrace(t, tracePath)
+
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of stderr
+	}{
+		{"bad log level", []string{"-tail", tracePath, "-log-level", "shout"}, "log"},
+		{"bad log format", []string{"-tail", tracePath, "-log-format", "xml"}, "log-format"},
+		{"bad fsync policy", []string{"-tail", tracePath, "-fsync", "sometimes"}, "fsync"},
+		{"negative max-streams", []string{"-tail", tracePath, "-max-streams", "-1"}, "MaxActiveStreams"},
+		{"bad listen spec", []string{"-listen", "udp:127.0.0.1:4444"}, "listen"},
+		{"trail without flight", []string{"-tail", tracePath, "-flight-events", "0", "-trail-journal", filepath.Join(dir, "tr.jsonl")}, "flight"},
+		{"bad detector config", []string{"-tail", tracePath, "-min-replicas", "0"}, "detector"},
+		{"missing watch dir", []string{"-watch", filepath.Join(dir, "nope")}, "nope"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exited %d, want 2; stderr: %q", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunTailToJournalEndToEnd: the full daemon pipeline through the
+// real main body — tail an (empty, immediately idle) trace, write a
+// journal and checkpoint, exit 0 via -exit-idle.
+func TestRunTailToJournalEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.lspt")
+	writeEmptyTrace(t, tracePath)
+	journal := filepath.Join(dir, "loops.jsonl")
+	cp := filepath.Join(dir, "cp.json")
+
+	code, _, stderr := runCLI(t,
+		"-tail", tracePath,
+		"-journal", journal,
+		"-checkpoint", cp,
+		"-exit-idle", "200ms",
+		"-poll", "5ms",
+		"-fsync", "always",
+		"-max-streams", "1024",
+	)
+	if code != 0 {
+		t.Fatalf("daemon exited %d; stderr:\n%s", code, stderr)
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Errorf("journal not created: %v", err)
+	}
+	if _, err := os.Stat(cp); err != nil {
+		t.Errorf("checkpoint not created: %v", err)
+	}
+	if !strings.Contains(stderr, "stopped") {
+		t.Errorf("clean shutdown not logged: %q", stderr)
+	}
+}

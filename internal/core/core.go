@@ -56,6 +56,17 @@ type Config struct {
 	// ValidateSubnet enables the step-2 subnet condition. Disabling
 	// it is used by the ablation benchmarks.
 	ValidateSubnet bool
+	// MaxActiveStreams caps the number of live stream builders the
+	// StreamDetector holds (0: unlimited). The cap is the detector's
+	// overload self-protection: an IPID-collision storm — every packet
+	// distinct, none ever growing a replica stream — would otherwise
+	// inflate builder state without bound. At the cap the detector
+	// sheds lowest-value state first (cold single-replica builders,
+	// which cannot be loop evidence yet) and degrades to sampled
+	// admission of new streams, counting everything it gave up (see
+	// StreamDetector.Shed). Batch detectors ignore the field: they
+	// already hold the whole trace.
+	MaxActiveStreams int
 }
 
 // DefaultConfig returns the paper's parameters.

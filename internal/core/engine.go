@@ -73,6 +73,8 @@ func (cfg Config) Validate() error {
 		return &ConfigError{Field: "MaxReplicaGap", Reason: "must be positive"}
 	case cfg.MergeWindow < 0:
 		return &ConfigError{Field: "MergeWindow", Reason: "must not be negative"}
+	case cfg.MaxActiveStreams < 0:
+		return &ConfigError{Field: "MaxActiveStreams", Reason: "must not be negative"}
 	}
 	return nil
 }

@@ -140,6 +140,11 @@ func (s *Session) Records() int64 { return s.records }
 // detector's position on the trace clock.
 func (s *Session) HighWater() time.Duration { return s.highWater }
 
+// Shed returns the detector's running shed counters — what the memory
+// governor (Config.MaxActiveStreams) has given up so far. The serve
+// daemon diffs successive snapshots into loopscope_shed_total.
+func (s *Session) Shed() ShedCounts { return s.sd.Shed() }
+
 // Emitted returns the number of final loop emissions so far, counting
 // suppressed replays: it is the value a checkpoint stores and a
 // restart passes to SetReplay.

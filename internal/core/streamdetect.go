@@ -53,6 +53,17 @@ type StreamDetector struct {
 	active   map[uint64][]*sbuilder
 	byPrefix map[routing.Prefix]*prefixState
 
+	// Governor state (Config.MaxActiveStreams > 0): live builders form
+	// an intrusive LRU list ordered by last activity, lruHead coldest.
+	// Everything here is a pure function of the record sequence — the
+	// list is touched in Observe order, never map order — so a governed
+	// detector replays deterministically.
+	lruHead, lruTail *sbuilder
+	liveBuilders     int
+	shedStreams      int64 // builders evicted at the cap
+	shedPackets      int64 // packets refused a new builder at the cap
+	admitRefused     int64 // refusals since start, drives sampled admission
+
 	now         time.Duration
 	n           int
 	parseErrors int
@@ -93,6 +104,9 @@ type sbuilder struct {
 	// frOpen marks that a stream-open flight event was recorded (lazy:
 	// nothing is recorded until the second replica).
 	frOpen bool
+	// lruPrev/lruNext thread the builder into the governor's
+	// last-activity list while it is live.
+	lruPrev, lruNext *sbuilder
 }
 
 // pendingStream is a flushed candidate awaiting validation.
@@ -180,6 +194,14 @@ func (d *StreamDetector) Observe(rec trace.Record) {
 		}
 	}
 	start := func() {
+		if !d.admitStream() {
+			// Refused admission: the packet starts no builder and, having
+			// no chance of ever becoming a member, must not sit in the
+			// prefix window either — a non-member entry would invalidate
+			// every genuine stream overlapping it (step 2).
+			ps.entries = ps.entries[:len(ps.entries)-1]
+			return
+		}
 		b := &sbuilder{
 			masked: masked, hash: h, prefix: pfx,
 			summary:  summarize(&pkt),
@@ -189,6 +211,7 @@ func (d *StreamDetector) Observe(rec trace.Record) {
 		}
 		d.active[h] = append(d.active[h], b)
 		ps.actives[b] = true
+		d.lruPush(b)
 	}
 	switch {
 	case match == nil:
@@ -204,12 +227,14 @@ func (d *StreamDetector) Observe(rec trace.Record) {
 			match.replicas = append(match.replicas, rep)
 			match.entries = append(match.entries, entry)
 			match.lastTTL, match.lastTime = rep.TTL, rep.Time
+			d.lruTouch(match)
 			if d.fr != nil {
 				d.frExtendS(match, rep, delta)
 			}
 		case delta >= 0:
 			match.entries = append(match.entries, entry)
 			match.lastTTL, match.lastTime = rep.TTL, rep.Time
+			d.lruTouch(match)
 			if d.fr != nil && match.frOpen && d.fr.SampleReplica(len(match.entries)-len(match.replicas)) {
 				d.fr.Record(flight.Event{Time: rec.Time, Kind: flight.KindDuplicate,
 					Prefix: match.prefix, Stream: match.hash, TTL: pkt.IP.TTL, Delta: delta})
@@ -241,7 +266,121 @@ func (d *StreamDetector) removeActiveS(b *sbuilder) {
 		delete(d.active, b.hash)
 	}
 	delete(d.state(b.prefix).actives, b)
+	d.lruRemove(b)
 }
+
+// ---------------------------------------------------------------------------
+// Memory governor.
+
+// lruPush appends a new live builder at the warm end of the
+// last-activity list.
+func (d *StreamDetector) lruPush(b *sbuilder) {
+	b.lruPrev = d.lruTail
+	b.lruNext = nil
+	if d.lruTail != nil {
+		d.lruTail.lruNext = b
+	} else {
+		d.lruHead = b
+	}
+	d.lruTail = b
+	d.liveBuilders++
+}
+
+// lruUnlink removes b from the list without touching the live count.
+func (d *StreamDetector) lruUnlink(b *sbuilder) {
+	if b.lruPrev != nil {
+		b.lruPrev.lruNext = b.lruNext
+	} else {
+		d.lruHead = b.lruNext
+	}
+	if b.lruNext != nil {
+		b.lruNext.lruPrev = b.lruPrev
+	} else {
+		d.lruTail = b.lruPrev
+	}
+	b.lruPrev, b.lruNext = nil, nil
+}
+
+// lruRemove retires a builder from the governor's view.
+func (d *StreamDetector) lruRemove(b *sbuilder) {
+	d.lruUnlink(b)
+	d.liveBuilders--
+}
+
+// lruTouch moves a builder to the warm end after activity.
+func (d *StreamDetector) lruTouch(b *sbuilder) {
+	if d.lruTail == b {
+		return
+	}
+	d.lruUnlink(b)
+	b.lruPrev = d.lruTail
+	if d.lruTail != nil {
+		d.lruTail.lruNext = b
+	} else {
+		d.lruHead = b
+	}
+	d.lruTail = b
+}
+
+// admitStream decides whether a new builder may start. Below the cap
+// (or with no cap) it always may. At the cap it first tries to evict
+// a low-value victim — scanning a bounded number of the coldest
+// builders for one that has not reached MemberReplicas, i.e. state
+// that cannot yet be evidence of anything. Failing that, admission
+// degrades to sampling: most newcomers are refused (counted in
+// shedPackets), but every 16th refusal force-evicts the coldest
+// builder instead, so sustained pressure slows stream formation
+// rather than freezing out all new traffic.
+func (d *StreamDetector) admitStream() bool {
+	if d.cfg.MaxActiveStreams <= 0 || d.liveBuilders < d.cfg.MaxActiveStreams {
+		return true
+	}
+	const victimScan = 8
+	b := d.lruHead
+	for i := 0; b != nil && i < victimScan; i++ {
+		if len(b.replicas) < d.cfg.MemberReplicas {
+			d.evictStream(b)
+			return true
+		}
+		b = b.lruNext
+	}
+	d.admitRefused++
+	if d.admitRefused%16 == 0 && d.lruHead != nil {
+		d.evictStream(d.lruHead)
+		return true
+	}
+	d.shedPackets++
+	return false
+}
+
+// evictStream force-closes a builder at the cap. Closing goes through
+// the normal flush, so replicas already collected keep their
+// evidentiary value: a builder past MinReplicas still becomes a loop
+// candidate, merely cut short.
+func (d *StreamDetector) evictStream(b *sbuilder) {
+	d.shedStreams++
+	d.flushStream(b, flight.ReasonShed)
+	d.removeActiveS(b)
+}
+
+// ShedCounts is the governor's running account of what overload
+// protection gave up.
+type ShedCounts struct {
+	// Streams is the number of live builders force-closed at the cap.
+	Streams int64
+	// Packets is the number of packets refused a new builder at the
+	// cap (sampled admission).
+	Packets int64
+}
+
+// Shed returns the current shed counters (zero without a cap).
+func (d *StreamDetector) Shed() ShedCounts {
+	return ShedCounts{Streams: d.shedStreams, Packets: d.shedPackets}
+}
+
+// LiveBuilders returns the number of live stream builders — the state
+// the governor caps.
+func (d *StreamDetector) LiveBuilders() int { return d.liveBuilders }
 
 func (d *StreamDetector) sweepStale(now time.Duration) {
 	for h, lst := range d.active {
@@ -250,6 +389,7 @@ func (d *StreamDetector) sweepStale(now time.Duration) {
 			if now-b.lastTime > d.cfg.MaxReplicaGap {
 				d.flushStream(b, flight.ReasonReplicaGap)
 				delete(d.state(b.prefix).actives, b)
+				d.lruRemove(b)
 			} else {
 				kept = append(kept, b)
 			}
@@ -540,6 +680,10 @@ type StreamStats struct {
 	// PeakPrefixEntries is the largest per-prefix retained-entry
 	// count observed — the bounded-memory gauge.
 	PeakPrefixEntries int
+	// ShedStreams and ShedPackets account for what the memory
+	// governor gave up under its cap (zero without one).
+	ShedStreams int64
+	ShedPackets int64
 }
 
 // Finish implements Engine: it flushes all remaining state (emitting
@@ -586,6 +730,7 @@ func (d *StreamDetector) FinishStats() StreamStats {
 		}
 	}
 	d.active = make(map[uint64][]*sbuilder)
+	d.lruHead, d.lruTail, d.liveBuilders = nil, nil, 0
 	// Deterministic final order: prefixes by address.
 	var pfxs []routing.Prefix
 	for p := range d.byPrefix {
@@ -603,5 +748,7 @@ func (d *StreamDetector) FinishStats() StreamStats {
 		PairsDiscarded:    d.pairs,
 		SubnetInvalidated: d.subnetInval,
 		PeakPrefixEntries: d.peakEntries,
+		ShedStreams:       d.shedStreams,
+		ShedPackets:       d.shedPackets,
 	}
 }

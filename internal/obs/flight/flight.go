@@ -133,6 +133,9 @@ const (
 	// ReasonDirtyGap: the gap was short enough but carried non-looped
 	// same-prefix traffic.
 	ReasonDirtyGap
+	// ReasonShed: the memory governor evicted the stream to stay under
+	// its live-builder cap.
+	ReasonShed
 )
 
 var reasonNames = map[Reason]string{
@@ -145,6 +148,7 @@ var reasonNames = map[Reason]string{
 	ReasonSubnetInvalidated: "subnet-invalidated",
 	ReasonMergeGapWide:      "merge-gap-wide",
 	ReasonDirtyGap:          "dirty-gap",
+	ReasonShed:              "shed",
 }
 
 // String returns the stable wire name of the reason ("" for none).

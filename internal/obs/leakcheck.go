@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the leak checker needs; taking the
+// interface keeps internal/obs free of a testing import in production
+// binaries that link the package.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// VerifyNoLeaks arms a goroutine-leak check for the current test:
+// registered via t.Cleanup, it snapshots the goroutines alive now and,
+// when the test ends, fails the test if goroutines this test started
+// are still running. Call it at the top of any test that starts a
+// daemon or background workers:
+//
+//	func TestDaemon(t *testing.T) {
+//	    obs.VerifyNoLeaks(t)
+//	    ...
+//	}
+//
+// Goroutines are compared by creation site (the "created by" frame), so
+// pre-existing pool goroutines with the same origin as new ones are
+// tolerated as long as their count returns to the baseline. Runtime and
+// testing internals are ignored. Because shutdown is asynchronous, the
+// check retries for a grace period before declaring a leak.
+func VerifyNoLeaks(t TB) {
+	t.Helper()
+	before := goroutineOrigins()
+	t.Cleanup(func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked map[string]int
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		origins := make([]string, 0, len(leaked))
+		for o := range leaked {
+			origins = append(origins, o)
+		}
+		sort.Strings(origins)
+		var b strings.Builder
+		for _, o := range origins {
+			fmt.Fprintf(&b, "\n  %d leaked from %s", leaked[o], o)
+		}
+		t.Errorf("goroutines leaked by this test:%s", b.String())
+	})
+}
+
+// leakedSince diffs current goroutine origins against a baseline,
+// returning origins whose count grew.
+func leakedSince(before map[string]int) map[string]int {
+	leaked := make(map[string]int)
+	for origin, n := range goroutineOrigins() {
+		if extra := n - before[origin]; extra > 0 {
+			leaked[origin] = extra
+		}
+	}
+	return leaked
+}
+
+// goroutineOrigins counts live goroutines by creation site.
+func goroutineOrigins() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	origins := make(map[string]int)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		origin := goroutineOrigin(g)
+		if origin == "" || ignoredOrigin(origin) {
+			continue
+		}
+		origins[origin]++
+	}
+	return origins
+}
+
+// goroutineOrigin extracts the "created by" function of one stack, or
+// the top frame for the main goroutine (which has no creator).
+func goroutineOrigin(stack string) string {
+	lines := strings.Split(strings.TrimSpace(stack), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return ""
+	}
+	for _, l := range lines {
+		if rest, ok := strings.CutPrefix(l, "created by "); ok {
+			// "created by pkg.Func in goroutine N" -> "pkg.Func".
+			if i := strings.Index(rest, " in goroutine"); i >= 0 {
+				rest = rest[:i]
+			}
+			return rest
+		}
+	}
+	// No creator: the main goroutine, or a system goroutine; identify
+	// it by its top function.
+	if len(lines) >= 2 {
+		return lines[1]
+	}
+	return lines[0]
+}
+
+// ignoredOrigin filters goroutines the test cannot be blamed for:
+// runtime helpers and the testing framework's own machinery.
+func ignoredOrigin(origin string) bool {
+	for _, p := range []string{
+		"runtime.",
+		"testing.",
+		"os/signal.",
+		"runtime/trace.",
+		"runtime/pprof.",
+	} {
+		if strings.HasPrefix(origin, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB captures the leak checker's verdict instead of failing the
+// real test.
+type fakeTB struct {
+	cleanups []func()
+	failures []string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failures = append(f.failures, format)
+}
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) finish() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestVerifyNoLeaksCleanRun(t *testing.T) {
+	tb := &fakeTB{}
+	VerifyNoLeaks(tb)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	tb.finish()
+	if len(tb.failures) != 0 {
+		t.Fatalf("leak checker failed a clean test: %v", tb.failures)
+	}
+}
+
+func TestVerifyNoLeaksCatchesLeak(t *testing.T) {
+	tb := &fakeTB{}
+	VerifyNoLeaks(tb)
+	stop := make(chan struct{})
+	go func() { <-stop }() // outlives the "test"
+	start := time.Now()
+	tb.finish()
+	close(stop)
+	if len(tb.failures) == 0 {
+		t.Fatal("leak checker missed a leaked goroutine")
+	}
+	if !strings.Contains(tb.failures[0], "leaked") {
+		t.Fatalf("unexpected failure message: %q", tb.failures[0])
+	}
+	if time.Since(start) < 2*time.Second {
+		t.Fatal("leak checker declared a leak before the retry grace elapsed")
+	}
+}
+
+func TestVerifyNoLeaksToleratesSlowShutdown(t *testing.T) {
+	tb := &fakeTB{}
+	VerifyNoLeaks(tb)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(300 * time.Millisecond) // still winding down at test end
+		close(done)
+	}()
+	tb.finish()
+	<-done
+	if len(tb.failures) != 0 {
+		t.Fatalf("leak checker failed a test whose goroutine exited within the grace period: %v", tb.failures)
+	}
+}

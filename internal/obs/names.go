@@ -61,6 +61,17 @@ const (
 	// rate is scrapeable without log shipping). Series carry a level
 	// label; build names with LabelMetric.
 	MetricLogMessages = "loopscope_log_messages_total"
+
+	// Resilience (internal/resil wiring in serve and core). Shed
+	// series carry a reason label, health series a component label,
+	// breaker series a sink label; build names with LabelMetric.
+	MetricShed               = "loopscope_shed_total"
+	MetricComponentHealth    = "loopscope_component_health"
+	MetricBreakerState       = "loopscope_breaker_state"
+	MetricBreakerTransitions = "loopscope_breaker_transitions_total"
+	MetricJournalRequeued    = "loopscope_serve_journal_requeued_total"
+	MetricTornRepairs        = "loopscope_serve_torn_repairs_total"
+	MetricFaultsInjected     = "loopscope_faults_injected_total"
 )
 
 // DetectLatencyBounds are the default bucket upper bounds (in
@@ -116,6 +127,14 @@ var metricHelp = map[string]string{
 	MetricServeCheckpointUnixNs:  "Unix time (ns) of the last successful checkpoint.",
 
 	MetricLogMessages: "Log messages emitted per level.",
+
+	MetricShed:               "Work shed by overload self-protection, by reason.",
+	MetricComponentHealth:    "Component health state (0 healthy, 1 degraded, 2 failing).",
+	MetricBreakerState:       "Circuit breaker position (0 closed, 1 half-open, 2 open).",
+	MetricBreakerTransitions: "Circuit breaker state transitions.",
+	MetricJournalRequeued:    "Journal events parked for retry after a write failure.",
+	MetricTornRepairs:        "Torn (partial) trailing lines quarantined on startup.",
+	MetricFaultsInjected:     "Faults injected by the chaos plan (test builds only).",
 
 	"loopscope_stage_seconds_total": "Wall-clock seconds spent per pipeline stage.",
 	"loopscope_stage_runs_total":    "Completed spans per pipeline stage.",

@@ -1,0 +1,109 @@
+// Package resil holds the runtime-resilience primitives loopscope's
+// long-running components share: one retry/backoff/jitter policy type
+// (the supervisor's restart loop, the webhook sink's delivery retries
+// and the tail reader's idle polling all run on it instead of carrying
+// their own ad-hoc copies), a circuit breaker for flapping downstream
+// endpoints, coarse per-component health states surfaced on /healthz
+// and /statusz, and a fault-injection seam that lets chaos tests drive
+// runtime failures — sink write errors, ENOSPC, slow webhooks, source
+// flaps — through the production code paths at zero cost to
+// production builds (a nil injector is a single pointer check).
+package resil
+
+import (
+	"time"
+
+	"loopscope/internal/stats"
+)
+
+// Policy describes a retry/backoff schedule: delays grow geometrically
+// from Base to Max, each sleep optionally jittered uniformly into
+// [d/2, d] to decorrelate retry storms across components and
+// processes. The zero value selects the daemon-wide defaults (500ms
+// doubling to 30s, jittered).
+type Policy struct {
+	// Base is the first delay (<= 0: 500ms).
+	Base time.Duration
+	// Max caps the delay (<= 0: 30s; raised to Base if smaller).
+	Max time.Duration
+	// Factor is the per-attempt growth factor (< 1: 2). Factor 1 gives
+	// a constant interval — the tail reader's poll loop.
+	Factor float64
+	// Jitter draws each sleep uniformly from [d/2, d] instead of
+	// sleeping exactly d.
+	Jitter bool
+	// ResetAfter, when positive, is the healthy interval: a component
+	// that ran without failing for this long has its schedule reset to
+	// Base on the next failure (see Retrier.MaybeReset), so one crash
+	// after a quiet week is retried promptly instead of at Max.
+	ResetAfter time.Duration
+}
+
+// withDefaults fills the zero-value fields.
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 500 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 30 * time.Second
+	}
+	if p.Max < p.Base {
+		p.Max = p.Base
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	return p
+}
+
+// Retrier produces successive delays under a Policy. It is not safe
+// for concurrent use; give each retry loop its own.
+type Retrier struct {
+	pol Policy
+	rng *stats.RNG
+	cur time.Duration
+}
+
+// NewRetrier returns a Retrier at the start of its schedule. The seed
+// drives the jitter draws; the same (policy, seed) always produces the
+// same delay sequence, which is what makes backoff testable.
+func NewRetrier(pol Policy, seed uint64) *Retrier {
+	pol = pol.withDefaults()
+	return &Retrier{pol: pol, rng: stats.NewRNG(seed), cur: pol.Base}
+}
+
+// Next returns the delay to sleep before the next attempt and advances
+// the schedule. With Jitter the returned delay is uniform in
+// [d/2, d] where d is the schedule's current value.
+func (r *Retrier) Next() time.Duration {
+	d := r.cur
+	next := time.Duration(float64(r.cur) * r.pol.Factor)
+	if next > r.pol.Max || next < r.cur {
+		next = r.pol.Max
+	}
+	r.cur = next
+	if r.pol.Jitter {
+		d = d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
+	}
+	return d
+}
+
+// Peek returns the schedule's current (unjittered) delay without
+// advancing it.
+func (r *Retrier) Peek() time.Duration { return r.cur }
+
+// Reset returns the schedule to Base — call it when the guarded
+// operation succeeded (the tail reader made progress, the supervised
+// source asked for a routine restart).
+func (r *Retrier) Reset() { r.cur = r.pol.Base }
+
+// MaybeReset resets the schedule when the component just ran healthily
+// for at least Policy.ResetAfter, and reports whether it did. A zero
+// ResetAfter never resets.
+func (r *Retrier) MaybeReset(healthyFor time.Duration) bool {
+	if r.pol.ResetAfter > 0 && healthyFor >= r.pol.ResetAfter {
+		r.Reset()
+		return true
+	}
+	return false
+}

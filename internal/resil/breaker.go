@@ -1,0 +1,196 @@
+package resil
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the open period elapsed; a limited probe is
+	// allowed through to test the backend.
+	BreakerHalfOpen
+	// BreakerOpen: requests are refused without touching the backend.
+	BreakerOpen
+)
+
+// String returns the stable wire name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig configures NewBreaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the
+	// breaker open (<= 0: 5).
+	FailureThreshold int
+	// OpenFor is how long the breaker refuses requests before allowing
+	// a half-open probe (<= 0: 10s).
+	OpenFor time.Duration
+	// SuccessThreshold is how many consecutive half-open successes
+	// close the breaker again (<= 0: 1).
+	SuccessThreshold int
+	// OnChange, when non-nil, observes every state transition.
+	OnChange func(BreakerState)
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Breaker is a consecutive-failure circuit breaker: after
+// FailureThreshold straight failures it opens and Allow refuses for
+// OpenFor, after which one caller at a time is let through as a probe;
+// SuccessThreshold probe successes close it, any probe failure
+// re-opens it. It protects a failing backend (and the caller's retry
+// budget) from being hammered while clearly advertising the outage
+// through State/Health.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	failures    int
+	successes   int
+	openedAt    time.Time
+	probing     bool
+	transitions int64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = 10 * time.Second
+	}
+	if cfg.SuccessThreshold <= 0 {
+		cfg.SuccessThreshold = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a request may proceed. While open it returns
+// false until OpenFor has elapsed, then admits a single probe (the
+// breaker moves to half-open); while half-open only one probe is in
+// flight at a time.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return false
+		}
+		b.setStateLocked(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a successful request.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		b.successes++
+		if b.successes >= b.cfg.SuccessThreshold {
+			b.setStateLocked(BreakerClosed)
+		}
+	case BreakerOpen:
+		// A straggling in-flight success from before the trip: treat it
+		// as evidence the backend recovered.
+		b.setStateLocked(BreakerClosed)
+	}
+}
+
+// Failure reports a failed request.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		b.trip()
+	}
+}
+
+// trip opens the breaker. Caller holds the lock.
+func (b *Breaker) trip() {
+	b.failures = 0
+	b.successes = 0
+	b.openedAt = b.cfg.Now()
+	b.setStateLocked(BreakerOpen)
+}
+
+// setStateLocked transitions and notifies. Caller holds the lock; the
+// callback runs under it so observers see transitions in order.
+func (b *Breaker) setStateLocked(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	if s != BreakerHalfOpen {
+		b.successes = 0
+	}
+	b.transitions++
+	if b.cfg.OnChange != nil {
+		b.cfg.OnChange(s)
+	}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Transitions returns how many state changes have occurred.
+func (b *Breaker) Transitions() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.transitions
+}
+
+// Health maps the breaker position onto the component health ladder:
+// closed is healthy, half-open degraded, open failing.
+func (b *Breaker) Health() Health {
+	switch b.State() {
+	case BreakerOpen:
+		return Failing
+	case BreakerHalfOpen:
+		return Degraded
+	}
+	return Healthy
+}

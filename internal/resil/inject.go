@@ -1,0 +1,46 @@
+package resil
+
+// Op names a fault-injection point inside the daemon. Each constant is
+// one place where a runtime failure can be injected by a chaos plan;
+// production code calls Inject(injector, op) at that point and
+// propagates any returned error exactly as it would a real one.
+type Op string
+
+const (
+	// OpJournalWrite guards each JSONL journal append (write error,
+	// ENOSPC).
+	OpJournalWrite Op = "journal.write"
+	// OpTrailWrite guards each flight-trail journal append.
+	OpTrailWrite Op = "trail.write"
+	// OpCheckpointSave guards each checkpoint save (temp write, fsync,
+	// rename).
+	OpCheckpointSave Op = "checkpoint.save"
+	// OpWebhookPost guards each webhook delivery attempt (failure or
+	// added latency before the request).
+	OpWebhookPost Op = "webhook.post"
+	// OpSourceRead guards each record observed from a source; a fault
+	// here flaps the source (the supervisor restarts it).
+	OpSourceRead Op = "source.read"
+)
+
+// Injector decides, per invocation of an operation, whether to inject
+// a fault. Implementations must be safe for concurrent use: the
+// daemon's sources and sinks call Fault from their own goroutines.
+// internal/chaos provides the seeded deterministic implementation;
+// production builds run with a nil Injector.
+type Injector interface {
+	// Fault is called once per invocation of op, before the real
+	// operation. A non-nil return is the injected failure; the caller
+	// treats it exactly like a real error from the operation. Fault may
+	// also sleep to model a slow dependency and then return nil.
+	Fault(op Op) error
+}
+
+// Inject is the nil-safe call-site helper: a nil injector (production)
+// costs a single comparison.
+func Inject(i Injector, op Op) error {
+	if i == nil {
+		return nil
+	}
+	return i.Fault(op)
+}

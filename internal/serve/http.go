@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"loopscope/internal/resil"
 )
 
 // Handler returns the daemon's HTTP API, with the obs registry's
@@ -52,7 +54,12 @@ func (d *Daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, tr)
 }
 
-// handleHealthz reports liveness and coarse progress.
+// handleHealthz reports liveness, coarse progress, and per-component
+// health. "status" is the worst component state ("ok" only while every
+// component is healthy), so load balancers and operators read one
+// field; the "health" map names the culprits. The response stays 200
+// even when degraded — the process is alive and self-protecting;
+// killing it would only lose state.
 func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	var records int64
 	for _, s := range d.sources {
@@ -60,13 +67,21 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		records += s.cp.Records
 		s.mu.Unlock()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
+	status := "ok"
+	if worst := d.health.Worst(); worst != resil.Healthy {
+		status = worst.String()
+	}
+	body := map[string]any{
+		"status":  status,
 		"uptimeS": int64(time.Since(d.started).Seconds()),
 		"sources": len(d.sources),
 		"records": records,
 		"events":  d.ring.Total(),
-	})
+	}
+	if snap := d.health.Snapshot(); len(snap) > 0 {
+		body["health"] = snap
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleLoops returns the most recent loop events, newest first.

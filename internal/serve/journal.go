@@ -4,12 +4,15 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"sync"
 
 	"loopscope/internal/obs"
+	"loopscope/internal/resil"
 )
 
 // JournalOptions configures NewJournal.
@@ -22,6 +25,18 @@ type JournalOptions struct {
 	// Keep is how many rotated files to retain (path.1 .. path.Keep);
 	// <= 0 selects 3.
 	Keep int
+	// PendingMax bounds the in-memory retry queue for events whose
+	// write failed (<= 0: 1024). While the queue is non-empty the
+	// journal is degraded; when it overflows, new events are dropped
+	// (counted) — bounded memory beats unbounded hope.
+	PendingMax int
+	// Fsync selects the flush-to-stable-storage policy.
+	Fsync FsyncPolicy
+	// Injector, when non-nil, is consulted before every file append
+	// (chaos tests); production passes nil.
+	Injector resil.Injector
+	// Health, when non-nil, receives the journal's health state.
+	Health *resil.HealthSet
 	// Metrics receives the delivered/duplicate/dropped counters (may
 	// be nil).
 	Metrics *obs.Registry
@@ -38,43 +53,67 @@ type JournalOptions struct {
 // A daemon restarted from a checkpoint therefore never duplicates a
 // line no matter where the crash fell relative to the checkpoint.
 //
+// Open repairs a torn trailing line first (a crash mid-append leaves a
+// partial line; it is quarantined into a sidecar, never silently
+// fused with the next append — see repairTornTail).
+//
 // Writes go straight to the file descriptor (no userspace buffer), so
 // an event survives the process dying the instant Publish returns; an
 // OS crash can still lose the tail, which checkpoint resume turns into
-// re-emission, not loss.
+// re-emission, not loss (FsyncAlways closes that window too).
+//
+// A failed write parks the event in a bounded pending queue retried on
+// every subsequent Publish and on Close, so a transient failure window
+// (ENOSPC, briefly unwritable disk) delays events instead of losing
+// them. A crash during such a window loses at most the queue's
+// contents — the same events the write failure already made
+// non-durable.
 type Journal struct {
 	opts JournalOptions
 	log  *slog.Logger
 
-	mu     sync.Mutex
-	f      *os.File
-	size   int64
-	seen   map[string]struct{}
-	closed bool
+	mu         sync.Mutex
+	f          *os.File
+	size       int64
+	seen       map[string]struct{}
+	pending    [][]byte // marshaled lines awaiting retry, in order
+	pendingIDs map[string]struct{}
+	closed     bool
 
 	delivered *obs.Counter
 	dups      *obs.Counter
 	drops     *obs.Counter
+	requeued  *obs.Counter
 }
 
-// NewJournal opens (creating if needed) the journal at opts.Path and
-// loads the dedup index from the existing file and its rotated
-// generations.
+// NewJournal opens (creating if needed) the journal at opts.Path,
+// repairs a torn trailing line left by a crash, and loads the dedup
+// index from the existing file and its rotated generations.
 func NewJournal(opts JournalOptions) (*Journal, error) {
 	if opts.Keep <= 0 {
 		opts.Keep = 3
+	}
+	if opts.PendingMax <= 0 {
+		opts.PendingMax = 1024
 	}
 	log := opts.Logger
 	if log == nil {
 		log = obs.NopLogger()
 	}
 	j := &Journal{
-		opts:      opts,
-		log:       log,
-		seen:      make(map[string]struct{}),
-		delivered: opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDelivered, "sink", "journal")),
-		dups:      opts.Metrics.Counter(obs.MetricServeJournalDup),
-		drops:     opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDropped, "sink", "journal")),
+		opts:       opts,
+		log:        log,
+		seen:       make(map[string]struct{}),
+		pendingIDs: make(map[string]struct{}),
+		delivered:  opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDelivered, "sink", "journal")),
+		dups:       opts.Metrics.Counter(obs.MetricServeJournalDup),
+		drops:      opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDropped, "sink", "journal")),
+		requeued:   opts.Metrics.Counter(obs.MetricJournalRequeued),
+	}
+	if torn, err := repairTornTail(opts.Path, log); err != nil {
+		return nil, fmt.Errorf("serve: journal: %w", err)
+	} else if torn > 0 {
+		opts.Metrics.Counter(obs.LabelMetric(obs.MetricTornRepairs, "file", "journal")).Inc()
 	}
 	// Oldest generation first so the live file wins any (impossible,
 	// but cheap to honor) conflicts.
@@ -92,27 +131,45 @@ func NewJournal(opts JournalOptions) (*Journal, error) {
 		return nil, err
 	}
 	j.f, j.size = f, st.Size()
+	opts.Health.Set("journal", resil.Healthy)
 	return j, nil
 }
 
 // loadSeen indexes the event IDs of an existing journal file; a
 // missing or partially unreadable file contributes what it can.
+// Unparseable lines (a torn line in a rotated generation, bit rot) are
+// tolerated and logged — a dedup index short one ID risks only a
+// duplicate line downstream consumers already handle, while refusing
+// to start risks the daemon.
 func (j *Journal) loadSeen(path string) {
 	f, err := os.Open(path)
 	if err != nil {
 		return
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		var line struct {
-			ID string `json:"id"`
+	r := bufio.NewReader(f)
+	bad := 0
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			var rec struct {
+				ID string `json:"id"`
+			}
+			if jerr := json.Unmarshal(line, &rec); jerr != nil || rec.ID == "" {
+				bad++
+			} else {
+				j.seen[rec.ID] = struct{}{}
+			}
 		}
-		if err := json.Unmarshal(sc.Bytes(), &line); err != nil || line.ID == "" {
-			continue // torn tail line from a crash mid-write
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				j.log.Warn("journal: dedup scan stopped early", "path", path, "err", err)
+			}
+			break
 		}
-		j.seen[line.ID] = struct{}{}
+	}
+	if bad > 0 {
+		j.log.Warn("journal: dedup scan skipped unparseable lines", "path", path, "lines", bad)
 	}
 }
 
@@ -120,10 +177,10 @@ func (j *Journal) loadSeen(path string) {
 func (j *Journal) Name() string { return "journal" }
 
 // Publish implements Sink: append the event as one JSON line, unless
-// its ID was already journaled. The journal is the pipeline's durable
-// record, so a failed write is never silent: it increments the sink's
-// dropped counter and logs, and a file lost to a failed rotation is
-// retried on every subsequent Publish rather than dropping forever.
+// its ID was already journaled (or is already parked for retry). The
+// journal is the pipeline's durable record, so a failed write is never
+// silent: the event is parked in the bounded pending queue (retried on
+// every Publish and on Close) and counted; only queue overflow drops.
 func (j *Journal) Publish(e Event) {
 	data, err := json.Marshal(e)
 	if err != nil {
@@ -138,11 +195,68 @@ func (j *Journal) Publish(e Event) {
 		j.dups.Inc()
 		return
 	}
+	if _, dup := j.pendingIDs[e.ID]; dup {
+		j.dups.Inc()
+		return
+	}
 	if j.closed {
 		j.drops.Inc()
 		j.log.Warn("journal: event published after Close; dropped", "event", e.ID)
 		return
 	}
+	// Parked events go first: they are older, and order within the
+	// journal should follow publication order when possible.
+	j.flushPendingLocked()
+	if len(j.pending) > 0 {
+		// Still failing: park the newcomer behind them.
+		j.parkLocked(e.ID, data)
+		return
+	}
+	if err := j.writeLocked(e.ID, data); err != nil {
+		j.log.Warn("journal: writing event failed; parked for retry", "event", e.ID, "err", err)
+		j.parkLocked(e.ID, data)
+	}
+}
+
+// parkLocked queues a marshaled line for retry, dropping on overflow.
+func (j *Journal) parkLocked(id string, data []byte) {
+	if len(j.pending) >= j.opts.PendingMax {
+		j.drops.Inc()
+		j.log.Warn("journal: pending queue full; event dropped", "event", id, "pending", len(j.pending))
+		return
+	}
+	j.pending = append(j.pending, data)
+	j.pendingIDs[id] = struct{}{}
+	j.requeued.Inc()
+	j.opts.Health.Set("journal", resil.Degraded)
+}
+
+// flushPendingLocked retries parked events in order, stopping at the
+// first failure.
+func (j *Journal) flushPendingLocked() {
+	for len(j.pending) > 0 {
+		data := j.pending[0]
+		var rec struct {
+			ID string `json:"id"`
+		}
+		json.Unmarshal(data, &rec)
+		if err := j.writeLocked(rec.ID, data); err != nil {
+			return
+		}
+		j.pending = j.pending[1:]
+		delete(j.pendingIDs, rec.ID)
+	}
+	if len(j.pending) == 0 {
+		j.pending = nil
+		j.opts.Health.Set("journal", resil.Healthy)
+	}
+}
+
+// writeLocked appends one marshaled line, rotating and reopening as
+// needed. On success the ID is marked seen. An fsync failure after a
+// successful append is logged and degrades health but does not fail
+// the write — retrying would append the line twice.
+func (j *Journal) writeLocked(id string, data []byte) error {
 	if j.opts.MaxBytes > 0 && j.size > 0 && j.size+int64(len(data)) > j.opts.MaxBytes {
 		j.rotateLocked()
 	}
@@ -152,17 +266,24 @@ func (j *Journal) Publish(e Event) {
 		j.reopenLocked()
 	}
 	if j.f == nil {
-		j.drops.Inc()
-		return
+		return errors.New("journal file unavailable")
+	}
+	if err := resil.Inject(j.opts.Injector, resil.OpJournalWrite); err != nil {
+		return err
 	}
 	if _, err := j.f.Write(data); err != nil {
-		j.drops.Inc()
-		j.log.Warn("journal: writing event failed", "event", e.ID, "err", err)
-		return
+		return err
 	}
 	j.size += int64(len(data))
-	j.seen[e.ID] = struct{}{}
+	j.seen[id] = struct{}{}
 	j.delivered.Inc()
+	if j.opts.Fsync == FsyncAlways {
+		if err := j.f.Sync(); err != nil {
+			j.log.Warn("journal: fsync failed", "err", err)
+			j.opts.Health.Set("journal", resil.Degraded)
+		}
+	}
+	return nil
 }
 
 // rotateLocked shifts path.i -> path.(i+1), path -> path.1 and reopens
@@ -194,14 +315,33 @@ func (j *Journal) reopenLocked() {
 	j.f, j.size = f, size
 }
 
-// Close implements Sink. Nothing is queued — Publish writes through —
-// so Close just releases the file.
+// Pending returns how many events are parked awaiting retry.
+func (j *Journal) Pending() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.pending)
+}
+
+// Close implements Sink: one final retry of parked events, then
+// release the file. Events still parked after that are counted as
+// dropped — they were never durable.
 func (j *Journal) Close(context.Context) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.flushPendingLocked()
+	for range j.pending {
+		j.drops.Inc()
+	}
+	if n := len(j.pending); n > 0 {
+		j.log.Warn("journal: closed with events still parked; lost", "events", n)
+	}
+	j.pending, j.pendingIDs = nil, nil
 	j.closed = true
 	if j.f == nil {
 		return nil
+	}
+	if j.opts.Fsync == FsyncAlways {
+		j.f.Sync()
 	}
 	err := j.f.Close()
 	j.f = nil

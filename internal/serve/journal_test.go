@@ -154,7 +154,9 @@ func TestJournalReopenRetryAfterFailedRotation(t *testing.T) {
 }
 
 // TestJournalDropsCountedAndLogged verifies a journal that cannot
-// write counts and logs the loss instead of dropping silently.
+// write parks the event for retry (counted, logged), and that events
+// still parked at Close — plus publishes after Close — are counted as
+// drops instead of disappearing silently.
 func TestJournalDropsCountedAndLogged(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "loops.jsonl")
@@ -183,19 +185,87 @@ func TestJournalDropsCountedAndLogged(t *testing.T) {
 	}
 
 	j.Publish(testEvent(1))
-	drops := reg.Counter(obs.LabelMetric(obs.MetricServeSinkDropped, "sink", "journal"))
-	if got := drops.Value(); got != 1 {
-		t.Fatalf("dropped counter = %d, want 1", got)
+	if got := j.Pending(); got != 1 {
+		t.Fatalf("pending = %d, want 1 (failed write should park, not drop)", got)
+	}
+	if got := reg.Counter(obs.MetricJournalRequeued).Value(); got != 1 {
+		t.Fatalf("requeued counter = %d, want 1", got)
 	}
 	if !strings.Contains(logBuf.String(), "journal") {
-		t.Fatalf("drop was not logged: %q", logBuf.String())
+		t.Fatalf("parked write was not logged: %q", logBuf.String())
+	}
+
+	// Close retries once more; the path is still a directory, so the
+	// parked event becomes a counted drop.
+	drops := reg.Counter(obs.LabelMetric(obs.MetricServeSinkDropped, "sink", "journal"))
+	j.Close(context.Background())
+	if got := drops.Value(); got != 1 {
+		t.Fatalf("dropped counter after Close = %d, want 1", got)
 	}
 
 	// Publish after Close is also counted, never silent.
-	j.Close(context.Background())
 	j.Publish(testEvent(2))
 	if got := drops.Value(); got != 2 {
-		t.Fatalf("dropped counter after Close = %d, want 2", got)
+		t.Fatalf("dropped counter after post-Close publish = %d, want 2", got)
+	}
+}
+
+// TestJournalPendingRetryRecovers verifies the transient-failure path:
+// writes that fail park events, a later Publish retries them in order
+// once the path is writable again, and nothing is lost or reordered.
+func TestJournalPendingRetryRecovers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "loops.jsonl")
+	reg := obs.NewRegistry()
+	j, err := NewJournal(JournalOptions{Path: path, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close(context.Background())
+
+	j.Publish(testEvent(0))
+
+	// Break the live file: path becomes a directory.
+	j.mu.Lock()
+	j.f.Close()
+	j.f = nil
+	j.mu.Unlock()
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	j.Publish(testEvent(1))
+	j.Publish(testEvent(2))
+	if got := j.Pending(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+
+	// Heal the path; the next Publish drains the queue first.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	j.Publish(testEvent(3))
+	if got := j.Pending(); got != 0 {
+		t.Fatalf("pending after recovery = %d, want 0", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := journalIDsLoose(data)
+	want := []string{testEvent(1).ID, testEvent(2).ID, testEvent(3).ID}
+	if len(ids) != len(want) {
+		t.Fatalf("journal has %d events after recovery, want %d (%v)", len(ids), len(want), ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("journal order after recovery = %v, want %v", ids, want)
+		}
+	}
+	if got := reg.Counter(obs.LabelMetric(obs.MetricServeSinkDropped, "sink", "journal")).Value(); got != 0 {
+		t.Fatalf("dropped counter = %d, want 0 (transient failure must not drop)", got)
 	}
 }
 

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// FsyncPolicy selects how aggressively the JSONL sinks flush to
+// stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncOff (the default) writes through to the file descriptor but
+	// leaves flushing to the OS: the process dying loses nothing, an OS
+	// crash can lose the tail — which torn-tail repair plus checkpoint
+	// resume turns into re-emission, not loss.
+	FsyncOff FsyncPolicy = iota
+	// FsyncAlways fsyncs after every journal and trail append. Loop
+	// events are rare (they are detections, not packets), so the cost
+	// is paid per loop, not per record.
+	FsyncAlways
+)
+
+// ParseFsyncPolicy parses the -fsync flag value.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "", "off":
+		return FsyncOff, nil
+	case "always":
+		return FsyncAlways, nil
+	}
+	return FsyncOff, fmt.Errorf("serve: unknown fsync policy %q (want off or always)", s)
+}
+
+// tornScanBack bounds how far back repairTornTail searches for the
+// last newline. One journal line is well under 4KB; a megabyte covers
+// any realistic record with orders of magnitude to spare.
+const tornScanBack = 1 << 20
+
+// repairTornTail makes a JSONL file append-safe after a crash: if the
+// file does not end in a newline, the bytes after the last newline are
+// a torn record from a write cut short by kill -9, ENOSPC or power
+// loss. Appending to it as-is would corrupt the first new record (two
+// half-lines fused into one unparseable line), so the partial tail is
+// moved into a quarantine sidecar (path + ".quarantine", appended so
+// repeated crashes accumulate evidence instead of overwriting it) and
+// the file is truncated back to the last complete line.
+//
+// A missing file is fine (nothing to repair). Returns how many bytes
+// were quarantined.
+func repairTornTail(path string, log *slog.Logger) (int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return 0, nil
+	}
+	var last [1]byte
+	if _, err := f.ReadAt(last[:], size-1); err != nil {
+		return 0, err
+	}
+	if last[0] == '\n' {
+		return 0, nil
+	}
+	// Find the last newline within the scan window; everything after it
+	// is the torn record.
+	scan := int64(tornScanBack)
+	if scan > size {
+		scan = size
+	}
+	buf := make([]byte, scan)
+	if _, err := f.ReadAt(buf, size-scan); err != nil {
+		return 0, err
+	}
+	keep := size - scan // bytes before the window, all in complete lines
+	if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+		keep = size - scan + int64(i) + 1
+	}
+	torn := size - keep
+	if err := quarantineBytes(path, f, keep, torn); err != nil {
+		return 0, fmt.Errorf("serve: quarantining torn tail of %s: %w", path, err)
+	}
+	if err := f.Truncate(keep); err != nil {
+		return 0, fmt.Errorf("serve: truncating torn tail of %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	if log != nil {
+		log.Warn("torn trailing line quarantined", "path", path, "bytes", torn, "sidecar", path+".quarantine")
+	}
+	return torn, nil
+}
+
+// quarantineBytes appends f's bytes at [off, off+n) to the quarantine
+// sidecar, newline-terminated so successive crashes stay one line each.
+func quarantineBytes(path string, f *os.File, off, n int64) error {
+	q, err := os.OpenFile(path+".quarantine", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(q, io.NewSectionReader(f, off, n)); err != nil {
+		q.Close()
+		return err
+	}
+	if _, err := q.Write([]byte{'\n'}); err != nil {
+		q.Close()
+		return err
+	}
+	return q.Close()
+}

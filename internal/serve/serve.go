@@ -14,6 +14,7 @@ import (
 	"loopscope/internal/core"
 	"loopscope/internal/obs"
 	"loopscope/internal/obs/flight"
+	"loopscope/internal/resil"
 )
 
 // Config configures a Daemon.
@@ -53,6 +54,23 @@ type Config struct {
 	// TrailPath, when set (and Flight is non-nil), appends every
 	// sealed final-loop trail to this JSONL file.
 	TrailPath string
+	// TailPollMax, when greater than TailPoll, lets quiet tail sources
+	// escalate their poll interval (doubling, jittered) up to this
+	// bound instead of polling at the fixed rate forever. Zero keeps
+	// the fixed interval.
+	TailPollMax time.Duration
+	// Fsync selects the flush-to-stable-storage policy for the journal
+	// and trail sinks the daemon owns.
+	Fsync FsyncPolicy
+	// FaultInjector, when non-nil, injects runtime faults at the
+	// daemon's I/O seams (journal/trail/checkpoint writes, webhook
+	// posts, source reads). Chaos tests wire a chaos.Plan here;
+	// production leaves it nil and pays a nil-check per seam.
+	FaultInjector resil.Injector
+	// RestartPolicy shapes supervisor restart backoff. The zero value
+	// selects the defaults (500ms base doubling to 30s, jittered,
+	// reset after 60s healthy); tests shrink it.
+	RestartPolicy resil.Policy
 }
 
 // Daemon is the continuous-operation core: sources in, detection in
@@ -68,6 +86,7 @@ type Daemon struct {
 	sources  []*sourceState
 	cp       *Checkpoint
 	trailLog *TrailLog
+	health   *resil.HealthSet
 
 	started  time.Time
 	cpC      *obs.Counter
@@ -86,10 +105,17 @@ type Daemon struct {
 }
 
 // New builds a Daemon and, when cfg.CheckpointPath is set, loads the
-// previous incarnation's checkpoint. A corrupt checkpoint is an error
-// the operator should see, not silently ignore — delete the file to
-// force a fresh start (which is always safe; the journal deduplicates).
+// previous incarnation's checkpoint. A corrupt checkpoint is
+// quarantined (renamed to path + ".corrupt") and the daemon starts
+// fresh rather than crash-looping: resuming from zero is always safe —
+// the journal deduplicates re-emitted events — while refusing to start
+// turns one bad write into an outage. The quarantine preserves the
+// image for post-mortem and the component is marked degraded so the
+// operator sees it on /healthz.
 func New(cfg Config) (*Daemon, error) {
+	if err := cfg.Detector.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: detector config: %w", err)
+	}
 	if cfg.CheckpointInterval <= 0 {
 		cfg.CheckpointInterval = time.Second
 	}
@@ -116,15 +142,36 @@ func New(cfg Config) (*Daemon, error) {
 		cpC:     cfg.Metrics.Counter(obs.MetricServeCheckpoints),
 		cpG:     cfg.Metrics.Gauge(obs.MetricServeCheckpointUnixNs),
 	}
+	// Every health change is mirrored into a per-component gauge so
+	// dashboards see degradation without polling /healthz.
+	d.health = resil.NewHealthSet(func(component string, h resil.Health) {
+		cfg.Metrics.Gauge(obs.LabelMetric(obs.MetricComponentHealth, "component", component)).Set(int64(h))
+		log.Info("component health changed", "component", component, "health", h.String())
+	})
 	if cfg.CheckpointPath != "" {
 		cp, err := LoadCheckpoint(cfg.CheckpointPath)
 		if err != nil {
-			return nil, fmt.Errorf("serve: loading checkpoint: %w", err)
+			quarantine := cfg.CheckpointPath + ".corrupt"
+			if rerr := os.Rename(cfg.CheckpointPath, quarantine); rerr != nil {
+				// Can't even move it aside — that is an operator problem
+				// (permissions, dead disk), not a stale image.
+				return nil, fmt.Errorf("serve: quarantining corrupt checkpoint: %w (load error: %v)", rerr, err)
+			}
+			log.Warn("corrupt checkpoint quarantined; starting fresh",
+				"path", cfg.CheckpointPath, "quarantine", quarantine, "err", err)
+			d.health.Set("checkpoint", resil.Degraded)
+		} else {
+			d.cp = cp
 		}
-		d.cp = cp
 	}
 	if cfg.TrailPath != "" && cfg.Flight != nil {
-		tl, err := NewTrailLog(cfg.TrailPath, log)
+		tl, err := NewTrailLog(TrailLogOptions{
+			Path:     cfg.TrailPath,
+			Fsync:    cfg.Fsync,
+			Injector: cfg.FaultInjector,
+			Metrics:  cfg.Metrics,
+			Logger:   log,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("serve: opening trail log: %w", err)
 		}
@@ -132,6 +179,11 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	return d, nil
 }
+
+// Health exposes the daemon's per-component health set; sinks built by
+// the caller (journal, webhook) report into it, and /healthz and
+// /statusz render it.
+func (d *Daemon) Health() *resil.HealthSet { return d.health }
 
 // AddSink attaches a sink; every event from every source reaches it.
 // The internal ring (the HTTP API's backing store) is always attached.
@@ -268,9 +320,15 @@ func (d *Daemon) checkpoint() error {
 	for _, s := range d.sources {
 		cp.Sources[s.name] = s.snapshot()
 	}
-	if err := cp.Save(d.cfg.CheckpointPath); err != nil {
+	if err := resil.Inject(d.cfg.FaultInjector, resil.OpCheckpointSave); err != nil {
+		d.health.Set("checkpoint", resil.Failing)
 		return err
 	}
+	if err := cp.Save(d.cfg.CheckpointPath); err != nil {
+		d.health.Set("checkpoint", resil.Failing)
+		return err
+	}
+	d.health.Set("checkpoint", resil.Healthy)
 	d.cpC.Inc()
 	now := time.Now().UnixNano()
 	d.cpLastNs.Store(now)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"loopscope/internal/core"
+	"loopscope/internal/obs"
 	"loopscope/internal/routing"
 	"loopscope/internal/stats"
 	"loopscope/internal/trace"
@@ -151,8 +152,11 @@ func finalIDSet(t *testing.T, events []Event) map[string]bool {
 }
 
 // newTestDaemon builds a daemon with a journal sink and fast intervals.
+// Every test that builds a daemon also gets the goroutine-leak check:
+// a daemon whose Run returned must leave nothing behind.
 func newTestDaemon(t *testing.T, journalPath, cpPath string) *Daemon {
 	t.Helper()
+	obs.VerifyNoLeaks(t)
 	d, err := New(Config{
 		Detector:           core.DefaultConfig(),
 		CheckpointPath:     cpPath,

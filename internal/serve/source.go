@@ -14,6 +14,7 @@ import (
 
 	"loopscope/internal/core"
 	"loopscope/internal/obs"
+	"loopscope/internal/resil"
 	"loopscope/internal/trace"
 )
 
@@ -30,10 +31,10 @@ type SourceInfo struct {
 	// Segment/Segments locate a dir source within its rotation
 	// sequence (1-based; zero for other kinds), and LagSegments counts
 	// rotated segments between it and the directory head.
-	Segment     int   `json:"segment,omitempty"`
-	Segments    int   `json:"segments,omitempty"`
-	LagSegments int64 `json:"lagSegments,omitempty"`
-	Restarts    int64 `json:"restarts"`
+	Segment     int    `json:"segment,omitempty"`
+	Segments    int    `json:"segments,omitempty"`
+	LagSegments int64  `json:"lagSegments,omitempty"`
+	Restarts    int64  `json:"restarts"`
 	LastErr     string `json:"lastError,omitempty"`
 }
 
@@ -76,13 +77,19 @@ type sourceState struct {
 	segDoneBytes int64
 	posBytes     int64
 
-	recordsC  *obs.Counter
-	lagG      *obs.Gauge
-	lagSegsG  *obs.Gauge
-	restartsC *obs.Counter
-	finalC    *obs.Counter
-	truncC    *obs.Counter
-	latencyH  *obs.Histogram
+	// lastShed is the session's shed counters at the previous observe;
+	// diffs feed the shed metrics so restarts don't re-count.
+	lastShed core.ShedCounts
+
+	recordsC     *obs.Counter
+	lagG         *obs.Gauge
+	lagSegsG     *obs.Gauge
+	restartsC    *obs.Counter
+	finalC       *obs.Counter
+	truncC       *obs.Counter
+	latencyH     *obs.Histogram
+	shedStreamsC *obs.Counter
+	shedPacketsC *obs.Counter
 
 	// feed only
 	listener net.Listener
@@ -103,6 +110,10 @@ func (d *Daemon) newSourceState(name, kind, path string) *sourceState {
 		finalC:      m.Counter(obs.LabelMetric(obs.MetricServeEventsFinal, "source", name)),
 		truncC:      m.Counter(obs.LabelMetric(obs.MetricServeEventsTruncated, "source", name)),
 		latencyH:    m.Histogram(obs.LabelMetric(obs.MetricServeDetectLatencyNs, "source", name), obs.DetectLatencyBounds),
+		// Shed counters are per reason, shared across sources: the
+		// governor's eviction pressure is a daemon-level signal.
+		shedStreamsC: m.Counter(obs.LabelMetric(obs.MetricShed, "reason", "stream_cap")),
+		shedPacketsC: m.Counter(obs.LabelMetric(obs.MetricShed, "reason", "admission")),
 	}
 }
 
@@ -146,16 +157,37 @@ func (s *sourceState) newSessionLocked() error {
 		sess.SetFlight(fr.Shard(s.flightShard))
 	}
 	s.sess = sess
+	s.lastShed = core.ShedCounts{}
 	return nil
+}
+
+// recordShedLocked diffs the session's governor counters against the
+// last observation and feeds the deltas into the shed metrics. Caller
+// must hold s.mu with a live session.
+func (s *sourceState) recordShedLocked() {
+	shed := s.sess.Shed()
+	if d := shed.Streams - s.lastShed.Streams; d > 0 {
+		s.shedStreamsC.Add(d)
+	}
+	if d := shed.Packets - s.lastShed.Packets; d > 0 {
+		s.shedPacketsC.Add(d)
+	}
+	s.lastShed = shed
 }
 
 // observe feeds one record and refreshes the checkpoint position, all
 // under the mutex (see the type comment for why that ordering is the
-// resume invariant). The only non-nil return is errTestCrash, from the
-// in-process kill hook tests use.
+// resume invariant). Besides errTestCrash (the in-process kill hook
+// tests use), an injected source-read fault surfaces here — before the
+// record touches the session or the checkpoint, so the supervisor's
+// restart re-reads it instead of losing it.
 func (s *sourceState) observe(rec trace.Record, records, offset int64) error {
+	if err := resil.Inject(s.d.cfg.FaultInjector, resil.OpSourceRead); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	s.sess.Observe(rec)
+	s.recordShedLocked()
 	s.cp.Records = records
 	s.cp.Offset = offset
 	s.cp.Emitted = s.sess.Emitted()
@@ -233,7 +265,7 @@ func (s *sourceState) setStatus(st string) {
 // until cancelled. Rotation and truncation drain the session
 // (truncated events) and start over on the new file contents.
 func (s *sourceState) runTail(ctx context.Context) error {
-	opts := trace.TailOptions{Poll: s.d.cfg.TailPoll}
+	opts := trace.TailOptions{Poll: s.d.cfg.TailPoll, PollMax: s.d.cfg.TailPollMax}
 	if s.d.cfg.ExitIdle > 0 {
 		opts.IdleTimeout = s.d.cfg.ExitIdle
 	}
@@ -579,6 +611,11 @@ func (s *sourceState) consumeSegment(ctx context.Context, seg string, baseWall *
 		rec, err := tr.Next(ctx)
 		switch {
 		case err == nil:
+			// Fault seam before the record touches the session: the
+			// restart replays this segment and re-reads it.
+			if ierr := resil.Inject(s.d.cfg.FaultInjector, resil.OpSourceRead); ierr != nil {
+				return ierr
+			}
 			idleSince = time.Now()
 			if !segBaseSet {
 				// Header is available once the first record decoded:
@@ -618,6 +655,7 @@ func (s *sourceState) consumeSegment(ctx context.Context, seg string, baseWall *
 				continue
 			}
 			s.sess.Observe(rec)
+			s.recordShedLocked()
 			s.cp.File = seg
 			s.cp.Records = tr.Records()
 			s.cp.Offset = tr.Offset()

@@ -27,6 +27,12 @@ th { background: #eee; }
 <p>uptime {{.Uptime}}{{if .HasCheckpoint}} &middot; last checkpoint {{.CheckpointAge}} ago{{end}}
  &middot; {{.Events}} events ({{.RingTotal}} in ring)</p>
 
+{{if .Health}}<h2>component health</h2>
+<table>
+<tr><th>component</th><th>state</th></tr>
+{{range .Health}}<tr><td>{{.Component}}</td><td>{{.State}}</td></tr>{{end}}
+</table>{{end}}
+
 <h2>sources</h2>
 <table>
 <tr><th>name</th><th>kind</th><th>status</th><th class=num>records</th><th class=num>emitted</th><th class=num>lag</th><th>segment</th><th class=num>restarts</th><th>last error</th></tr>
@@ -76,6 +82,11 @@ type statuszLogCount struct {
 	Count int64
 }
 
+type statuszHealth struct {
+	Component string
+	State     string
+}
+
 // handleStatusz renders the status page.
 func (d *Daemon) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	infos := make([]SourceInfo, 0, len(d.sources))
@@ -105,6 +116,7 @@ func (d *Daemon) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		FlightOn      bool
 		Flight        flight.Stats
 		LogCounts     []statuszLogCount
+		Health        []statuszHealth
 	}{
 		Uptime:    time.Since(d.started).Round(time.Second),
 		Events:    d.ring.Total(),
@@ -120,6 +132,10 @@ func (d *Daemon) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	if data.FlightOn {
 		data.Flight = d.cfg.Flight.Stats()
 	}
+	for component, state := range d.health.Snapshot() {
+		data.Health = append(data.Health, statuszHealth{Component: component, State: state})
+	}
+	sort.Slice(data.Health, func(i, j int) bool { return data.Health[i].Component < data.Health[j].Component })
 	if d.cfg.Metrics != nil {
 		prefix := obs.MetricLogMessages + "{"
 		snap := d.cfg.Metrics.Snapshot()

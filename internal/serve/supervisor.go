@@ -3,8 +3,10 @@ package serve
 import (
 	"context"
 	"errors"
-	"math/rand"
+	"hash/fnv"
 	"time"
+
+	"loopscope/internal/resil"
 )
 
 // errRestart is returned by a source runner that wants an immediate
@@ -12,20 +14,30 @@ import (
 // expected — a tailed file rotated — not a failure.
 var errRestart = errors.New("serve: source requests restart")
 
-// supervise runs one source's runner in a restart loop with jittered
-// exponential backoff. A runner returning nil or ctx.Err() ends the
-// loop; errRestart restarts promptly; any other error escalates the
-// backoff (base 500ms, doubling to 30s) so a crash-looping source —
-// a file with a corrupt header, a permission problem — costs polling,
-// not a spin.
+// supervise runs one source's runner in a restart loop backed by the
+// shared resil backoff policy: jittered exponential escalation (500ms
+// doubling to 30s by default, shaped by Config.RestartPolicy) so a
+// crash-looping source — a file with a corrupt header, a permission
+// problem — costs polling, not a spin. A runner returning nil or
+// ctx.Err() ends the loop; errRestart restarts promptly without
+// escalating. A run that stays healthy past the policy's reset
+// interval forgives the escalation, so a source that fails once a day
+// restarts in 500ms, not 30s. Repeated failures mark the source
+// degraded in the daemon's health set; a lasting recovery clears it.
 func (d *Daemon) supervise(ctx context.Context, s *sourceState) {
-	const (
-		base = 500 * time.Millisecond
-		max  = 30 * time.Second
-	)
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	delay := base
+	pol := d.cfg.RestartPolicy
+	pol.Jitter = true
+	if pol.ResetAfter <= 0 {
+		pol.ResetAfter = 60 * time.Second
+	}
+	// Seeded per source name: deterministic under test, distinct
+	// across sources so simultaneous failures don't restart in step.
+	h := fnv.New64a()
+	h.Write([]byte(s.name))
+	r := resil.NewRetrier(pol, h.Sum64())
+	component := "source:" + s.name
 	for {
+		runStart := time.Now()
 		err := s.run(ctx)
 		if ctx.Err() != nil || err == nil {
 			return
@@ -41,22 +53,22 @@ func (d *Daemon) supervise(ctx context.Context, s *sourceState) {
 		s.mu.Unlock()
 		s.restartsC.Inc()
 		if errors.Is(err, errRestart) {
-			delay = base
+			r.Reset()
+			d.health.Set(component, resil.Healthy)
 		} else {
-			d.log.Warn("source failed; restarting", "source", s.name, "err", err, "delay", delay)
+			if r.MaybeReset(time.Since(runStart)) {
+				// The failure follows a long healthy run: treat it as
+				// fresh, not as a continuation of an old crash loop.
+				d.health.Set(component, resil.Healthy)
+			} else {
+				d.health.Set(component, resil.Degraded)
+			}
+			d.log.Warn("source failed; restarting", "source", s.name, "err", err, "delay", r.Peek())
 		}
-		// Full jitter: sleep uniformly in [delay/2, delay).
-		sleep := delay/2 + time.Duration(rng.Int63n(int64(delay/2)+1))
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(sleep):
-		}
-		if !errors.Is(err, errRestart) {
-			delay *= 2
-			if delay > max {
-				delay = max
-			}
+		case <-time.After(r.Next()):
 		}
 	}
 }

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"loopscope/internal/core"
+	"loopscope/internal/obs"
+	"loopscope/internal/resil"
+)
+
+// superviseGaps runs one fake source under supervise and returns the
+// gaps between consecutive run invocations.
+func superviseGaps(t *testing.T, pol resil.Policy, runs []error) (*Daemon, []time.Duration) {
+	t.Helper()
+	d, err := New(Config{Detector: core.DefaultConfig(), RestartPolicy: pol, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts []time.Time
+	i := 0
+	s := d.newSourceState("fake", "tail", "fake")
+	s.run = func(ctx context.Context) error {
+		starts = append(starts, time.Now())
+		if i >= len(runs) {
+			return nil // end the supervision loop
+		}
+		err := runs[i]
+		i++
+		return err
+	}
+	d.sources = append(d.sources, s)
+	d.supervise(context.Background(), s)
+	gaps := make([]time.Duration, 0, len(starts)-1)
+	for j := 1; j < len(starts); j++ {
+		gaps = append(gaps, starts[j].Sub(starts[j-1]))
+	}
+	return d, gaps
+}
+
+// TestSuperviseBackoffEscalatesWithinJitterBounds: each restart delay
+// must fall in the documented jitter window [d/2, d] of the escalating
+// series base, 2*base, ... capped at max. The lower bound is strict
+// (no busy restart loops); the upper allows scheduling slop.
+func TestSuperviseBackoffEscalatesWithinJitterBounds(t *testing.T) {
+	boom := errors.New("boom")
+	pol := resil.Policy{Base: 40 * time.Millisecond, Max: 160 * time.Millisecond, ResetAfter: time.Hour}
+	d, gaps := superviseGaps(t, pol, []error{boom, boom, boom, boom})
+	want := []time.Duration{40, 80, 160, 160} // ms, pre-jitter
+	if len(gaps) != len(want) {
+		t.Fatalf("got %d restarts, want %d", len(gaps), len(want))
+	}
+	for i, g := range gaps {
+		nominal := want[i] * time.Millisecond
+		if g < nominal/2 {
+			t.Errorf("restart %d after %v, below jitter floor %v", i, g, nominal/2)
+		}
+		if g > nominal+250*time.Millisecond {
+			t.Errorf("restart %d after %v, far above jittered delay %v", i, g, nominal)
+		}
+	}
+	if h := d.health.Get("source:fake"); h != resil.Degraded {
+		t.Errorf("health after repeated failures = %v, want degraded", h)
+	}
+}
+
+// TestSuperviseRotationRestartDoesNotEscalate: errRestart (file
+// rotation) restarts at base pace every time and keeps the source
+// healthy — rotation is expected operation, not failure.
+func TestSuperviseRotationRestartDoesNotEscalate(t *testing.T) {
+	pol := resil.Policy{Base: 20 * time.Millisecond, Max: 500 * time.Millisecond, ResetAfter: time.Hour}
+	d, gaps := superviseGaps(t, pol, []error{errRestart, errRestart, errRestart, errRestart})
+	for i, g := range gaps {
+		if g < 10*time.Millisecond {
+			t.Errorf("rotation restart %d after %v, below jitter floor 10ms", i, g)
+		}
+		if g > 220*time.Millisecond {
+			t.Errorf("rotation restart %d after %v: backoff escalated on errRestart", i, g)
+		}
+	}
+	if h := d.health.Get("source:fake"); h != resil.Healthy {
+		t.Errorf("health after rotation restarts = %v, want healthy", h)
+	}
+}
+
+// TestSuperviseBackoffResetsAfterHealthyRun: a run that stays up past
+// the policy's ResetAfter forgives prior escalation — the next restart
+// comes at base pace, and the source is considered healthy again.
+func TestSuperviseBackoffResetsAfterHealthyRun(t *testing.T) {
+	boom := errors.New("boom")
+	pol := resil.Policy{Base: 20 * time.Millisecond, Max: 640 * time.Millisecond, ResetAfter: 80 * time.Millisecond}
+	d, err := New(Config{Detector: core.DefaultConfig(), RestartPolicy: pol, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts []time.Time
+	i := 0
+	s := d.newSourceState("fake", "tail", "fake")
+	s.run = func(ctx context.Context) error {
+		starts = append(starts, time.Now())
+		i++
+		switch {
+		case i <= 4:
+			return boom // escalate: 20, 40, 80, 160
+		case i == 5:
+			time.Sleep(120 * time.Millisecond) // healthy past ResetAfter
+			return boom
+		default:
+			return nil
+		}
+	}
+	d.sources = append(d.sources, s)
+	d.supervise(context.Background(), s)
+	if len(starts) != 6 {
+		t.Fatalf("got %d runs, want 6", len(starts))
+	}
+	finalGap := starts[5].Sub(starts[4]) - 120*time.Millisecond // subtract the healthy sleep
+	if finalGap > 120*time.Millisecond {
+		t.Errorf("restart after healthy run took %v beyond the run; backoff did not reset to ~20ms base", finalGap)
+	}
+	if h := d.health.Get("source:fake"); h != resil.Healthy {
+		t.Errorf("health after long healthy run = %v, want healthy", h)
+	}
+}

@@ -8,36 +8,63 @@ import (
 
 	"loopscope/internal/obs"
 	"loopscope/internal/obs/flight"
+	"loopscope/internal/resil"
 )
+
+// TrailLogOptions configures NewTrailLog.
+type TrailLogOptions struct {
+	// Path is the JSONL file trails append to.
+	Path string
+	// Fsync selects the flush-to-stable-storage policy.
+	Fsync FsyncPolicy
+	// Injector, when non-nil, is consulted before every append (chaos
+	// tests); production passes nil.
+	Injector resil.Injector
+	// Metrics counts torn-tail repairs (may be nil).
+	Metrics *obs.Registry
+	// Logger logs write failures (nil: silent).
+	Logger *slog.Logger
+}
 
 // TrailLog persists sealed flight-recorder trails as JSONL — one trail
 // (the full decision history behind one journaled loop event) per
 // line. It is deliberately append-only and dedup-free: trails are
 // keyed by the same deterministic loop ID as journal events, so a
 // consumer joins the two files on ID and resolves re-emission
-// duplicates exactly as it does for the journal.
+// duplicates exactly as it does for the journal. Like the journal, a
+// torn trailing line left by a crash is quarantined on open.
 type TrailLog struct {
 	mu     sync.Mutex
 	f      *os.File
+	opts   TrailLogOptions
 	log    *slog.Logger
 	closed bool
 }
 
-// NewTrailLog opens (creating if needed) the trail log at path.
-func NewTrailLog(path string, log *slog.Logger) (*TrailLog, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
-	}
+// NewTrailLog opens (creating if needed) the trail log, repairing a
+// torn trailing line first.
+func NewTrailLog(opts TrailLogOptions) (*TrailLog, error) {
+	log := opts.Logger
 	if log == nil {
 		log = obs.NopLogger()
 	}
-	return &TrailLog{f: f, log: log}, nil
+	if torn, err := repairTornTail(opts.Path, log); err != nil {
+		return nil, err
+	} else if torn > 0 {
+		opts.Metrics.Counter(obs.LabelMetric(obs.MetricTornRepairs, "file", "trails")).Inc()
+	}
+	f, err := os.OpenFile(opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &TrailLog{f: f, opts: opts, log: log}, nil
 }
 
 // Write appends one trail. Nil-safe: a nil receiver (trail persistence
 // disabled) and a nil trail (not sealed, e.g. ring overwritten) are
-// both no-ops.
+// both no-ops. Trails are diagnostic evidence, not the durable record,
+// so a failed write is logged and the trail lost — the journal event
+// it annotates is retried separately.
 func (t *TrailLog) Write(tr *flight.Trail) {
 	if t == nil || tr == nil {
 		return
@@ -53,8 +80,18 @@ func (t *TrailLog) Write(tr *flight.Trail) {
 	if t.closed || t.f == nil {
 		return
 	}
+	if err := resil.Inject(t.opts.Injector, resil.OpTrailWrite); err != nil {
+		t.log.Warn("trail log: write failed", "trail", tr.ID, "err", err)
+		return
+	}
 	if _, err := t.f.Write(data); err != nil {
 		t.log.Warn("trail log: write failed", "trail", tr.ID, "err", err)
+		return
+	}
+	if t.opts.Fsync == FsyncAlways {
+		if err := t.f.Sync(); err != nil {
+			t.log.Warn("trail log: fsync failed", "err", err)
+		}
 	}
 }
 
@@ -68,6 +105,9 @@ func (t *TrailLog) Close() error {
 	t.closed = true
 	if t.f == nil {
 		return nil
+	}
+	if t.opts.Fsync == FsyncAlways {
+		t.f.Sync()
 	}
 	err := t.f.Close()
 	t.f = nil

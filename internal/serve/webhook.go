@@ -4,11 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"math/rand"
+	"hash/fnv"
 	"net/http"
 	"time"
 
 	"loopscope/internal/obs"
+	"loopscope/internal/resil"
 )
 
 // WebhookOptions configures NewWebhook.
@@ -22,31 +23,45 @@ type WebhookOptions struct {
 	// MaxRetries is how many delivery attempts each event gets before
 	// being dropped (<= 0: 8).
 	MaxRetries int
-	// BackoffBase is the first retry delay (<= 0: 500ms); it doubles per
-	// attempt, jittered, capped at BackoffMax (<= 0: 30s).
-	BackoffBase time.Duration
-	BackoffMax  time.Duration
+	// Backoff shapes the per-event retry delays. The zero value
+	// selects the shared resil defaults: 500ms doubling to 30s,
+	// jittered.
+	Backoff resil.Policy
+	// Breaker shapes the circuit breaker protecting the endpoint. The
+	// zero value selects resil's defaults (trip after 5 consecutive
+	// failures, re-probe after 10s).
+	Breaker resil.BreakerConfig
 	// Timeout bounds each POST (<= 0: 10s).
 	Timeout time.Duration
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
+	// Injector, when non-nil, is consulted before every POST (chaos
+	// tests); production passes nil.
+	Injector resil.Injector
+	// Health, when non-nil, receives the breaker's health state.
+	Health *resil.HealthSet
 	// Metrics receives the queue/delivery counters (may be nil).
 	Metrics *obs.Registry
 }
 
 // Webhook is the push sink: a bounded queue feeding one delivery
-// worker that POSTs events as JSON with exponential-backoff retries.
-// Delivery is at-least-once at best and lossy under sustained backend
-// failure — by design: the journal is the durable record, the webhook
-// is a notification channel, and a full queue sheds load instead of
-// stalling the detectors. Drops and retries are visible in /metrics.
+// worker that POSTs events as JSON with exponential-backoff retries
+// behind a circuit breaker. Delivery is at-least-once at best and
+// lossy under sustained backend failure — by design: the journal is
+// the durable record, the webhook is a notification channel, and a
+// full queue sheds load instead of stalling the detectors. When the
+// endpoint fails repeatedly the breaker opens and events are dropped
+// without burning retry time on a dead backend; a probe re-closes it
+// once the endpoint recovers. Drops, retries and breaker state are
+// visible in /metrics.
 type Webhook struct {
-	opts   WebhookOptions
-	client *http.Client
-	queue  chan Event
-	done   chan struct{}
-	exited chan struct{}
-	cancel context.CancelFunc
+	opts    WebhookOptions
+	client  *http.Client
+	breaker *resil.Breaker
+	queue   chan Event
+	done    chan struct{}
+	exited  chan struct{}
+	cancel  context.CancelFunc
 
 	depth     *obs.Gauge
 	delivered *obs.Counter
@@ -61,12 +76,6 @@ func NewWebhook(opts WebhookOptions) *Webhook {
 	}
 	if opts.MaxRetries <= 0 {
 		opts.MaxRetries = 8
-	}
-	if opts.BackoffBase <= 0 {
-		opts.BackoffBase = 500 * time.Millisecond
-	}
-	if opts.BackoffMax <= 0 {
-		opts.BackoffMax = 30 * time.Second
 	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = 10 * time.Second
@@ -88,8 +97,32 @@ func NewWebhook(opts WebhookOptions) *Webhook {
 		dropped:   opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDropped, "sink", "webhook")),
 		retries:   opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkRetries, "sink", "webhook")),
 	}
+	bc := opts.Breaker
+	stateG := opts.Metrics.Gauge(obs.LabelMetric(obs.MetricBreakerState, "sink", "webhook"))
+	transC := opts.Metrics.Counter(obs.LabelMetric(obs.MetricBreakerTransitions, "sink", "webhook"))
+	userOnChange := bc.OnChange
+	bc.OnChange = func(to resil.BreakerState) {
+		stateG.Set(int64(to))
+		transC.Inc()
+		opts.Health.Set("sink:webhook", breakerHealth(to))
+		if userOnChange != nil {
+			userOnChange(to)
+		}
+	}
+	w.breaker = resil.NewBreaker(bc)
 	go w.run(ctx)
 	return w
+}
+
+// breakerHealth maps a breaker position to component health.
+func breakerHealth(s resil.BreakerState) resil.Health {
+	switch s {
+	case resil.BreakerOpen:
+		return resil.Failing
+	case resil.BreakerHalfOpen:
+		return resil.Degraded
+	}
+	return resil.Healthy
 }
 
 // Name implements Sink.
@@ -117,18 +150,20 @@ func (w *Webhook) Publish(e Event) {
 // Close it drains whatever is queued, then exits.
 func (w *Webhook) run(ctx context.Context) {
 	defer close(w.exited)
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	// Seeded by URL: deterministic under test, distinct per endpoint.
+	h := fnv.New64a()
+	h.Write([]byte(w.opts.URL))
 	for {
 		select {
 		case e := <-w.queue:
 			w.depth.Set(int64(len(w.queue)))
-			w.deliver(ctx, e, rng)
+			w.deliver(ctx, e, resil.NewRetrier(w.opts.Backoff, h.Sum64()))
 		case <-w.done:
 			for {
 				select {
 				case e := <-w.queue:
 					w.depth.Set(int64(len(w.queue)))
-					w.deliver(ctx, e, rng)
+					w.deliver(ctx, e, resil.NewRetrier(w.opts.Backoff, h.Sum64()))
 				default:
 					return
 				}
@@ -138,33 +173,34 @@ func (w *Webhook) run(ctx context.Context) {
 }
 
 // deliver POSTs one event, retrying with jittered exponential backoff.
-func (w *Webhook) deliver(ctx context.Context, e Event, rng *rand.Rand) {
+// Attempts the breaker refuses are consumed without touching the
+// network, so a dead endpoint costs the queue its backoff sleeps but
+// not MaxRetries HTTP timeouts per event.
+func (w *Webhook) deliver(ctx context.Context, e Event, r *resil.Retrier) {
 	body, err := json.Marshal(e)
 	if err != nil {
 		w.dropped.Inc()
 		return
 	}
-	delay := w.opts.BackoffBase
 	for attempt := 0; attempt < w.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
 			w.retries.Inc()
-			// Jitter in [delay/2, delay) decorrelates retry storms.
-			d := delay/2 + time.Duration(rng.Int63n(int64(delay/2)+1))
 			select {
-			case <-time.After(d):
+			case <-time.After(r.Next()):
 			case <-ctx.Done():
 				w.dropped.Inc()
 				return
 			}
-			delay *= 2
-			if delay > w.opts.BackoffMax {
-				delay = w.opts.BackoffMax
-			}
+		}
+		if !w.breaker.Allow() {
+			continue
 		}
 		if w.post(ctx, body) {
+			w.breaker.Success()
 			w.delivered.Inc()
 			return
 		}
+		w.breaker.Failure()
 		if ctx.Err() != nil {
 			w.dropped.Inc()
 			return
@@ -175,6 +211,9 @@ func (w *Webhook) deliver(ctx context.Context, e Event, rng *rand.Rand) {
 
 // post makes one delivery attempt; any 2xx response is success.
 func (w *Webhook) post(ctx context.Context, body []byte) bool {
+	if err := resil.Inject(w.opts.Injector, resil.OpWebhookPost); err != nil {
+		return false
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.URL, bytes.NewReader(body))
 	if err != nil {
 		return false
@@ -188,18 +227,24 @@ func (w *Webhook) post(ctx context.Context, body []byte) bool {
 	return resp.StatusCode >= 200 && resp.StatusCode < 300
 }
 
+// Breaker exposes the sink's circuit breaker (statusz, tests).
+func (w *Webhook) Breaker() *resil.Breaker { return w.breaker }
+
 // Close implements Sink: stop accepting events and let the worker
 // drain the queue until ctx expires, then abandon what remains. The
 // queue channel is never closed — a straggling Publish after Close is
-// a counted drop, not a panic.
+// a counted drop, not a panic. Idle keep-alive connections are torn
+// down so a closed sink leaves no background goroutines.
 func (w *Webhook) Close(ctx context.Context) error {
 	close(w.done)
+	var err error
 	select {
 	case <-w.exited:
-		return nil
 	case <-ctx.Done():
 		w.cancel() // abort in-flight delivery and pending backoff
 		<-w.exited
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	w.client.CloseIdleConnections()
+	return err
 }

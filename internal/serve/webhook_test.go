@@ -11,9 +11,11 @@ import (
 	"time"
 
 	"loopscope/internal/obs"
+	"loopscope/internal/resil"
 )
 
 func TestWebhookDelivers(t *testing.T) {
+	obs.VerifyNoLeaks(t)
 	var mu sync.Mutex
 	var got []Event
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -55,12 +57,12 @@ func TestWebhookDelivers(t *testing.T) {
 func TestWebhookFailingEndpointNeverBlocks(t *testing.T) {
 	reg := obs.NewRegistry()
 	w := NewWebhook(WebhookOptions{
-		URL:         "http://127.0.0.1:1/unreachable", // connection refused
-		QueueSize:   4,
-		MaxRetries:  3,
-		BackoffBase: 50 * time.Millisecond,
-		Timeout:     100 * time.Millisecond,
-		Metrics:     reg,
+		URL:        "http://127.0.0.1:1/unreachable", // connection refused
+		QueueSize:  4,
+		MaxRetries: 3,
+		Backoff:    resil.Policy{Base: 50 * time.Millisecond},
+		Timeout:    100 * time.Millisecond,
+		Metrics:    reg,
 	})
 
 	const n = 200
@@ -109,9 +111,9 @@ func TestWebhookRetriesThenSucceeds(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	w := NewWebhook(WebhookOptions{
-		URL:         srv.URL,
-		BackoffBase: 10 * time.Millisecond,
-		Metrics:     reg,
+		URL:     srv.URL,
+		Backoff: resil.Policy{Base: 10 * time.Millisecond},
+		Metrics: reg,
 	})
 	w.Publish(testEvent(1))
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -5,10 +5,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"sync/atomic"
 	"time"
+
+	"loopscope/internal/resil"
 )
 
 // Tail errors. Both are terminal for the reader: the caller decides
@@ -32,6 +35,12 @@ type TailOptions struct {
 	// Poll is the interval at which the reader re-checks the file for
 	// appended data once it has caught up. <= 0 selects 200ms.
 	Poll time.Duration
+	// PollMax, when larger than Poll, makes the poll interval escalate
+	// (doubling, jittered) from Poll towards PollMax while the file
+	// stays quiet, resetting to Poll as soon as a record arrives — an
+	// idle tail costs close to nothing, a busy one is read at full
+	// cadence. Zero keeps the fixed Poll interval.
+	PollMax time.Duration
 	// IdleTimeout, when positive, makes Next return ErrTailIdle after
 	// the file has been fully consumed and no new record has arrived
 	// for this long. Zero waits forever.
@@ -65,6 +74,7 @@ type TailReader struct {
 	size atomic.Int64 // last observed file size
 
 	lastTime time.Duration
+	poll     *resil.Retrier
 }
 
 // OpenTail opens path for tailing. The file must exist, but may still
@@ -81,7 +91,16 @@ func OpenTail(path string, opts TailOptions) (*TailReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TailReader{path: path, f: f, opts: opts}, nil
+	// Without PollMax the policy degenerates to a constant interval —
+	// exactly the historical fixed-Poll behavior. With it the wait
+	// escalates while idle and snaps back to Poll on progress.
+	pol := resil.Policy{Base: opts.Poll, Max: opts.Poll, Factor: 1}
+	if opts.PollMax > opts.Poll {
+		pol = resil.Policy{Base: opts.Poll, Max: opts.PollMax, Factor: 2, Jitter: true}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	return &TailReader{path: path, f: f, opts: opts, poll: resil.NewRetrier(pol, h.Sum64())}, nil
 }
 
 // Meta returns the trace metadata. Before the header has been read
@@ -244,6 +263,7 @@ func (t *TailReader) Next(ctx context.Context) (Record, error) {
 		if rec, ok, err := t.tryRecord(); err != nil {
 			return Record{}, err
 		} else if ok {
+			t.poll.Reset()
 			return rec, nil
 		}
 		if rotated {
@@ -256,7 +276,7 @@ func (t *TailReader) Next(ctx context.Context) (Record, error) {
 		select {
 		case <-ctx.Done():
 			return Record{}, ctx.Err()
-		case <-time.After(t.opts.Poll):
+		case <-time.After(t.poll.Next()):
 		}
 	}
 }
