@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"loopscope/internal/analysis"
+	"loopscope/internal/analytics"
 	"loopscope/internal/baseline"
 	"loopscope/internal/core"
 	"loopscope/internal/netsim"
@@ -600,6 +601,58 @@ func BenchmarkFlightRecorder(b *testing.B) {
 			if fr != nil {
 				st := fr.Stats()
 				b.ReportMetric(float64(st.Events)/float64(b.N), "flight_events/op")
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyticsIngest measures the online-analytics tax the same
+// way BenchmarkObsOverhead measures metrics: mode=noop runs the
+// streaming pipeline with an emit callback that only counts loops,
+// and mode=ingesting reduces every emitted loop through
+// analytics.ObsFromLoop into a live collector — sketches, window
+// segments, top-K, the whole /api/v1/stats feed. CI extracts both
+// into BENCH_obs.json (cmd/benchjson -mode obs) under the shared
+// regression budget, so "the daemon can afford always-on analytics"
+// stays a tested property.
+func BenchmarkAnalyticsIngest(b *testing.B) {
+	recs := parallelBenchTrace()
+	for _, mode := range []string{"noop", "ingesting"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			b.ReportAllocs()
+			var c *analytics.Collector
+			if mode == "ingesting" {
+				c = analytics.NewCollector(analytics.Options{})
+			}
+			var loops int64
+			for i := 0; i < b.N; i++ {
+				seq := 0
+				emit := func(l *core.Loop) { seq++ }
+				if c != nil {
+					emit = func(l *core.Loop) {
+						seq++
+						c.RecordLoop("bench", analytics.ObsFromLoop(fmt.Sprintf("%d-%d", i, seq), l))
+					}
+				}
+				e, err := core.New(core.DefaultConfig(), core.WithStreaming(emit))
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := trace.NewSliceSource(trace.Meta{Link: "bench"}, recs)
+				res, err := core.RunMetered(e, src, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalPackets != len(recs) {
+					b.Fatalf("engine saw %d of %d records", res.TotalPackets, len(recs))
+				}
+				loops = int64(seq)
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			if c != nil {
+				ingested, _ := c.Counts()
+				b.ReportMetric(float64(ingested)/float64(b.N), "analytics_loops/op")
+				_ = loops
 			}
 		})
 	}

@@ -58,6 +58,12 @@ var obsLine = regexp.MustCompile(
 var flightLine = regexp.MustCompile(
 	`^BenchmarkFlightRecorder/mode=(\w+)\S*\s+\d+\s+([\d.]+) ns/op(.*)`)
 
+// analyticsLine matches one online-analytics result, e.g.
+//
+//	BenchmarkAnalyticsIngest/mode=ingesting-8  1  4475561997 ns/op  12.00 analytics_loops/op  449953 records/s
+var analyticsLine = regexp.MustCompile(
+	`^BenchmarkAnalyticsIngest/mode=(\w+)\S*\s+\d+\s+([\d.]+) ns/op(.*)`)
+
 // metricPair matches the trailing "value unit" metrics go test appends
 // (records/s, B/op, allocs/op, stage_<name>_ns, ...).
 var metricPair = regexp.MustCompile(`([\d.e+]+) ([\w/_-]+)`)
@@ -74,6 +80,7 @@ type obsReport struct {
 	Noop         map[string]float64 `json:"noop"`
 	Instrumented map[string]float64 `json:"instrumented"`
 	Flight       *flightReport      `json:"flight,omitempty"`
+	Analytics    *analyticsReport   `json:"analytics,omitempty"`
 }
 
 // flightReport compares BenchmarkFlightRecorder's modes: the pipeline
@@ -85,6 +92,17 @@ type flightReport struct {
 	RegressPct       float64            `json:"regressPct"`
 	Noop             map[string]float64 `json:"noop"`
 	Recording        map[string]float64 `json:"recording"`
+}
+
+// analyticsReport compares BenchmarkAnalyticsIngest's modes: the
+// streaming pipeline with a counting-only emit callback versus every
+// emitted loop reduced into the live analytics collector.
+type analyticsReport struct {
+	NoopNsPerOp      float64            `json:"noopNsPerOp"`
+	IngestingNsPerOp float64            `json:"ingestingNsPerOp"`
+	RegressPct       float64            `json:"regressPct"`
+	Noop             map[string]float64 `json:"noop"`
+	Ingesting        map[string]float64 `json:"ingesting"`
 }
 
 func main() {
@@ -137,6 +155,10 @@ func mainObs(out string, maxRegress float64) {
 		fmt.Printf("flight: noop %.0f ns/op, recording %.0f ns/op: %+.2f%% overhead\n",
 			rep.Flight.NoopNsPerOp, rep.Flight.RecordingNsPerOp, rep.Flight.RegressPct)
 	}
+	if rep.Analytics != nil {
+		fmt.Printf("analytics: noop %.0f ns/op, ingesting %.0f ns/op: %+.2f%% overhead\n",
+			rep.Analytics.NoopNsPerOp, rep.Analytics.IngestingNsPerOp, rep.Analytics.RegressPct)
+	}
 	if maxRegress >= 0 && rep.RegressPct > maxRegress {
 		fmt.Fprintf(os.Stderr, "benchjson: instrumentation overhead %.2f%% exceeds the %.2f%% budget\n",
 			rep.RegressPct, maxRegress)
@@ -145,6 +167,11 @@ func mainObs(out string, maxRegress float64) {
 	if maxRegress >= 0 && rep.Flight != nil && rep.Flight.RegressPct > maxRegress {
 		fmt.Fprintf(os.Stderr, "benchjson: flight-recorder overhead %.2f%% exceeds the %.2f%% budget\n",
 			rep.Flight.RegressPct, maxRegress)
+		os.Exit(1)
+	}
+	if maxRegress >= 0 && rep.Analytics != nil && rep.Analytics.RegressPct > maxRegress {
+		fmt.Fprintf(os.Stderr, "benchjson: analytics-ingest overhead %.2f%% exceeds the %.2f%% budget\n",
+			rep.Analytics.RegressPct, maxRegress)
 		os.Exit(1)
 	}
 }
@@ -203,6 +230,7 @@ func parse(r io.Reader) ([]entry, error) {
 func parseObs(r io.Reader) (*obsReport, error) {
 	rep := &obsReport{}
 	var fl flightReport
+	var an analyticsReport
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
@@ -230,6 +258,19 @@ func parseObs(r io.Reader) (*obsReport, error) {
 			case "recording":
 				fl.RecordingNsPerOp, fl.Recording = nsPerOp, metrics
 			}
+			continue
+		}
+		if m := analyticsLine.FindStringSubmatch(line); m != nil {
+			nsPerOp, metrics, err := parseBenchResult(line, m)
+			if err != nil {
+				return nil, err
+			}
+			switch m[1] {
+			case "noop":
+				an.NoopNsPerOp, an.Noop = nsPerOp, metrics
+			case "ingesting":
+				an.IngestingNsPerOp, an.Ingesting = nsPerOp, metrics
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -247,6 +288,14 @@ func parseObs(r io.Reader) (*obsReport, error) {
 		}
 		fl.RegressPct = 100 * (fl.RecordingNsPerOp - fl.NoopNsPerOp) / fl.NoopNsPerOp
 		rep.Flight = &fl
+	}
+	if an.Noop != nil || an.Ingesting != nil {
+		if an.Noop == nil || an.Ingesting == nil {
+			return nil, fmt.Errorf("need both BenchmarkAnalyticsIngest modes on stdin (noop: %v, ingesting: %v)",
+				an.Noop != nil, an.Ingesting != nil)
+		}
+		an.RegressPct = 100 * (an.IngestingNsPerOp - an.NoopNsPerOp) / an.NoopNsPerOp
+		rep.Analytics = &an
 	}
 	return rep, nil
 }

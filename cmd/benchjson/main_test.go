@@ -136,3 +136,39 @@ BenchmarkFlightRecorder/mode=recording-8 1 2040000000 ns/op
 		t.Fatal("one-sided flight input accepted; the comparison needs both modes")
 	}
 }
+
+func TestParseObsWithAnalytics(t *testing.T) {
+	out := `goos: linux
+BenchmarkObsOverhead/mode=noop-8         	       2	2000000000 ns/op	    844912 records/s
+BenchmarkObsOverhead/mode=instrumented-8 	       2	2060000000 ns/op	    823691 records/s
+BenchmarkAnalyticsIngest/mode=noop-8     	       2	2000000000 ns/op	    844912 records/s
+BenchmarkAnalyticsIngest/mode=ingesting-8	       2	2030000000 ns/op	      12.00 analytics_loops/op	835000 records/s
+PASS
+`
+	rep, err := parseObs(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Analytics == nil {
+		t.Fatal("analytics comparison not parsed")
+	}
+	if rep.Analytics.NoopNsPerOp != 2e9 || rep.Analytics.IngestingNsPerOp != 2.03e9 {
+		t.Errorf("analytics ns/op = %v / %v", rep.Analytics.NoopNsPerOp, rep.Analytics.IngestingNsPerOp)
+	}
+	if rep.Analytics.RegressPct < 1.49 || rep.Analytics.RegressPct > 1.51 {
+		t.Errorf("analytics regressPct = %v, want ~1.5", rep.Analytics.RegressPct)
+	}
+	if rep.Analytics.Ingesting["analytics_loops/op"] != 12 {
+		t.Errorf("analytics ingesting metrics = %v", rep.Analytics.Ingesting)
+	}
+}
+
+func TestParseObsOneSidedAnalytics(t *testing.T) {
+	out := `BenchmarkObsOverhead/mode=noop-8 1 2000000000 ns/op
+BenchmarkObsOverhead/mode=instrumented-8 1 2010000000 ns/op
+BenchmarkAnalyticsIngest/mode=ingesting-8 1 2040000000 ns/op
+`
+	if _, err := parseObs(strings.NewReader(out)); err == nil {
+		t.Fatal("one-sided analytics input accepted; the comparison needs both modes")
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"loopscope/internal/analysis"
+	"loopscope/internal/analytics"
 	"loopscope/internal/core"
 	"loopscope/internal/obs"
 	"loopscope/internal/trace"
@@ -423,8 +424,13 @@ type jsonResult struct {
 	CaptureLossPackets int              `json:"captureLossPackets"`
 	DecodeStats        *jsonDecodeStats `json:"decodeStats,omitempty"`
 	Run                *jsonRun         `json:"run,omitempty"`
-	Streams            []jsonStream     `json:"streams"`
-	Loops              []jsonLoop       `json:"loops"`
+	// Analytics holds the same sketch-based distributions the daemon
+	// serves at /api/v1/stats, computed by the identical code path —
+	// an offline run over a trace and an online daemon fed the same
+	// trace agree within the documented sketch error bound.
+	Analytics *analytics.Stats `json:"analytics,omitempty"`
+	Streams   []jsonStream     `json:"streams"`
+	Loops     []jsonLoop       `json:"loops"`
 }
 
 // runSection assembles the -json run section from the stage spans the
@@ -490,6 +496,11 @@ func runJSON(path string, cfg core.Config) error {
 		}
 	}
 	out.Run = runSection(start)
+	collector := analytics.NewCollector(analytics.Options{})
+	collector.RecordResult(meta.Link, res)
+	if st, err := collector.Query(analytics.Query{}); err == nil {
+		out.Analytics = st
+	}
 	for _, s := range res.Streams {
 		out.Streams = append(out.Streams, jsonStream{
 			ID: s.ID, Src: s.Summary.Src.String(), Dst: s.Summary.Dst.String(),

@@ -54,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"loopscope/internal/analytics"
 	"loopscope/internal/core"
 	"loopscope/internal/obs"
 	"loopscope/internal/obs/flight"
@@ -86,11 +87,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		journalPath  = fs.String("journal", "", "append loop events to this JSONL file")
 		journalMax   = fs.Int64("journal-max-bytes", 64<<20, "rotate the journal when it would exceed this size (0: never)")
-		journalKeep  = fs.Int("journal-keep", 3, "rotated journal generations to retain")
+		journalKeep  = fs.Int("journal-keep", 3, "rotated journal generations to retain (ignored with -retain)")
+		retain       = fs.Duration("retain", 0, "journal time-partitioned retention horizon: rotate into timestamped segments and delete those older than this (0: counted -journal-keep generations)")
 		webhookURL   = fs.String("webhook", "", "POST each loop event as JSON to this URL")
 		webhookQueue = fs.Int("webhook-queue", 256, "webhook queue bound; overflow is dropped and counted")
-		httpAddr     = fs.String("http", "", "serve /healthz, /statusz, /api/loops, /api/sources, /api/trace, /metrics, /debug/pprof; a bare :port binds loopback only")
+		httpAddr     = fs.String("http", "", "serve the /api/v1 API (plus deprecated aliases, /metrics, /debug/pprof); a bare :port binds loopback only")
 		cpPath       = fs.String("checkpoint", "", "periodically write an atomic resume checkpoint here")
+		statsSnap    = fs.String("stats-snapshot", "", "persist the /api/v1/stats analytics sketches here (default: <checkpoint>.analytics when -checkpoint is set)")
 		cpInterval   = fs.Duration("checkpoint-interval", time.Second, "checkpoint period")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for detector drain and sink flush")
 		exitIdle     = fs.Duration("exit-idle", 0, "exit cleanly once every source has been idle this long (0: run forever)")
@@ -157,6 +160,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Analytics are always on: the collector is cheap (a few sketch
+	// increments per finalized loop) and /api/v1/stats answering 404
+	// on a stock build would be a trap. Only persistence is optional.
+	collector := analytics.NewCollector(analytics.Options{
+		OnIngest: reg.Counter(obs.MetricAnalyticsIngested).Inc,
+		OnDedup:  reg.Counter(obs.MetricAnalyticsDeduped).Inc,
+	})
+	snapPath := *statsSnap
+	if snapPath == "" && *cpPath != "" {
+		snapPath = *cpPath + ".analytics"
+	}
+
 	var fr *flight.Recorder
 	if *flightEvents > 0 {
 		fr = flight.New(flight.Options{
@@ -178,19 +193,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ValidateSubnet:   !*noValidate,
 			MaxActiveStreams: *maxStreams,
 		},
-		CheckpointPath:     *cpPath,
-		CheckpointInterval: *cpInterval,
-		DrainTimeout:       *drainTimeout,
-		ExitIdle:           *exitIdle,
-		TailPoll:           *poll,
-		TailPollMax:        *pollMax,
-		DirGlob:            *dirGlob,
-		RingSize:           *ringSize,
-		Fsync:              fsync,
-		Metrics:            reg,
-		Logger:             logger,
-		Flight:             fr,
-		TrailPath:          *trailPath,
+		CheckpointPath:        *cpPath,
+		CheckpointInterval:    *cpInterval,
+		DrainTimeout:          *drainTimeout,
+		ExitIdle:              *exitIdle,
+		TailPoll:              *poll,
+		TailPollMax:           *pollMax,
+		DirGlob:               *dirGlob,
+		RingSize:              *ringSize,
+		Fsync:                 fsync,
+		Metrics:               reg,
+		Logger:                logger,
+		Flight:                fr,
+		TrailPath:             *trailPath,
+		Analytics:             collector,
+		AnalyticsSnapshotPath: snapPath,
 	})
 	if err != nil {
 		return usage(err)
@@ -232,7 +249,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *journalPath != "" {
 		j, err := serve.NewJournal(serve.JournalOptions{
 			Path: *journalPath, MaxBytes: *journalMax, Keep: *journalKeep,
-			Fsync: fsync, Health: d.Health(),
+			Retain: *retain,
+			Fsync:  fsync, Health: d.Health(),
 			Metrics: reg, Logger: logger,
 		})
 		if err != nil {
@@ -253,7 +271,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return usage(err)
 		}
 		logger.Info("serving API", "url", "http://"+srv.Addr()+"/",
-			"endpoints", "healthz statusz api/loops api/sources api/trace metrics")
+			"endpoints", "api/v1/{health,loops,sources,trace,stats,statusz} metrics")
 	}
 
 	var pr *obs.Progress

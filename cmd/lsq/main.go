@@ -1,0 +1,120 @@
+// Command lsq queries a loopscoped daemon's versioned HTTP API
+// (/api/v1) through the typed pkg/loopscope client and prints the
+// decoded result as JSON — the scriptable counterpart to curl that
+// also exercises the envelope/error protocol end to end, which is
+// exactly what the smoke script wants.
+//
+// Usage:
+//
+//	lsq -addr http://127.0.0.1:9090 health
+//	lsq -addr … loops [-limit n] [-cursor c] [-source s] [-walk]
+//	lsq -addr … sources
+//	lsq -addr … stats [-window 1h] [-source s] [-metric duration]
+//	lsq -addr … trace [id]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"loopscope/pkg/loopscope"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:9090", "base URL of the loopscoped HTTP API")
+	timeout := flag.Duration("timeout", 10*time.Second, "request timeout")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: lsq [-addr URL] <health|loops|sources|stats|trace> [flags]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := loopscope.New(*addr)
+
+	var (
+		out any
+		err error
+	)
+	switch cmd, args := flag.Arg(0), flag.Args()[1:]; cmd {
+	case "health":
+		out, err = c.Health(ctx)
+	case "loops":
+		out, err = runLoops(ctx, c, args)
+	case "sources":
+		out, err = c.Sources(ctx)
+	case "stats":
+		out, err = runStats(ctx, c, args)
+	case "trace":
+		if len(args) > 0 {
+			out, err = c.Trace(ctx, args[0])
+		} else {
+			out, err = c.TraceIDs(ctx)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "lsq: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsq:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "lsq:", err)
+		os.Exit(1)
+	}
+}
+
+// loopsOut flattens a page (or a full walk) for scripting: events
+// plus the pagination coordinates that produced them.
+type loopsOut struct {
+	Events     []loopscope.LoopEvent `json:"events"`
+	Total      int64                 `json:"total"`
+	NextCursor int64                 `json:"nextCursor,omitempty"`
+	Pages      int                   `json:"pages"`
+}
+
+func runLoops(ctx context.Context, c *loopscope.Client, args []string) (any, error) {
+	fs := flag.NewFlagSet("loops", flag.ExitOnError)
+	limit := fs.Int("limit", 0, "page size (server default 100)")
+	cursor := fs.Int64("cursor", 0, "resume after this sequence number")
+	source := fs.String("source", "", "only events from this source")
+	walk := fs.Bool("walk", false, "follow nextCursor until the ring is exhausted")
+	fs.Parse(args)
+	out := loopsOut{Events: []loopscope.LoopEvent{}}
+	q := loopscope.LoopsQuery{Limit: *limit, Cursor: *cursor, Source: *source}
+	for {
+		page, err := c.Loops(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		out.Events = append(out.Events, page.Events...)
+		out.Total = page.Total
+		out.NextCursor = page.NextCursor
+		out.Pages++
+		if !*walk || page.NextCursor == 0 {
+			return out, nil
+		}
+		q.Cursor = page.NextCursor
+	}
+}
+
+func runStats(ctx context.Context, c *loopscope.Client, args []string) (any, error) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	window := fs.String("window", "", "time window (e.g. 5m, 1h; empty = all)")
+	source := fs.String("source", "", "only loops from this source")
+	metric := fs.String("metric", "", "single metric (duration, ttl_delta, streams, replicas, escape_delay)")
+	fs.Parse(args)
+	return c.Stats(ctx, loopscope.StatsQuery{Window: *window, Source: *source, Metric: *metric})
+}

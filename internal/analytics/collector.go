@@ -1,0 +1,530 @@
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metric names the stats API accepts. Sketch-backed metrics answer
+// quantiles within SketchAlpha relative error; IntHist-backed metrics
+// are exact.
+const (
+	MetricDuration    = "duration"     // loop duration, ns (Sketch)
+	MetricTTLDelta    = "ttl_delta"    // dominant TTL decrement (IntHist, exact)
+	MetricStreams     = "streams"      // replica streams per loop (IntHist, exact)
+	MetricReplicas    = "replicas"     // replica packets per loop (Sketch)
+	MetricEscapeDelay = "escape_delay" // time an escaped stream was trapped, ns (Sketch)
+)
+
+// Metrics lists every metric name, in presentation order.
+var Metrics = []string{MetricDuration, MetricTTLDelta, MetricStreams, MetricReplicas, MetricEscapeDelay}
+
+// LoopObs is one finalized loop, reduced to what the analytics layer
+// records. Both feeding paths build it: the daemon from a published
+// serve event (ID set, so crash-replay duplicates dedup), offline
+// loopdetect from a core.Result (no IDs needed — a batch run has no
+// duplicates).
+type LoopObs struct {
+	// ID deduplicates at-least-once redelivery; empty skips dedup.
+	ID string
+	// Prefix feeds the per-prefix top-K.
+	Prefix string
+	// DurationNs is the loop's observable lifetime.
+	DurationNs int64
+	// TTLDelta is the dominant TTL decrement (loop length in routers).
+	TTLDelta int
+	// Streams is the number of merged replica streams.
+	Streams int
+	// Replicas is the total replica packets across the loop's streams.
+	Replicas int
+	// EscapeDelaysNs holds, per escaped stream, how long the loop held
+	// the packet before it got out.
+	EscapeDelaysNs []int64
+}
+
+// tier is one time-partition granularity: ring of `keep` segments of
+// `span` each.
+type tier struct {
+	span time.Duration
+	keep int
+}
+
+// tiers are the window granularities, finest first: two hours of
+// minutes, two days of hours, two weeks of days. Queries resolve on
+// the finest tier whose retention covers the asked-for window.
+var tiers = []tier{
+	{time.Minute, 120},
+	{time.Hour, 48},
+	{24 * time.Hour, 14},
+}
+
+// MaxWindow is the largest queryable window; longer horizons use the
+// cumulative "all" view.
+const MaxWindow = 14 * 24 * time.Hour
+
+// topKCap bounds the per-prefix heavy-hitter summaries. 64 prefixes
+// per window segment is far past what a statusz table or a NOC
+// dashboard renders.
+const topKCap = 64
+
+// metricSet is one window's worth of sketches: every metric plus the
+// prefix top-K. It is the unit of merging.
+type metricSet struct {
+	Duration    Sketch  `json:"duration"`
+	TTLDelta    IntHist `json:"ttlDelta"`
+	Streams     IntHist `json:"streams"`
+	Replicas    Sketch  `json:"replicas"`
+	EscapeDelay Sketch  `json:"escapeDelay"`
+	Prefixes    *TopK   `json:"prefixes,omitempty"`
+	Loops       uint64  `json:"loops"`
+}
+
+// record folds one loop observation in.
+func (m *metricSet) record(o LoopObs) {
+	m.Loops++
+	m.Duration.Add(o.DurationNs)
+	m.TTLDelta.Add(o.TTLDelta)
+	m.Streams.Add(o.Streams)
+	m.Replicas.Add(int64(o.Replicas))
+	for _, d := range o.EscapeDelaysNs {
+		m.EscapeDelay.Add(d)
+	}
+	if o.Prefix != "" {
+		if m.Prefixes == nil {
+			m.Prefixes = NewTopK(topKCap)
+		}
+		m.Prefixes.Add(o.Prefix)
+	}
+}
+
+// merge folds other into m.
+func (m *metricSet) merge(other *metricSet) {
+	if other == nil {
+		return
+	}
+	m.Loops += other.Loops
+	m.Duration.Merge(&other.Duration)
+	m.TTLDelta.Merge(&other.TTLDelta)
+	m.Streams.Merge(&other.Streams)
+	m.Replicas.Merge(&other.Replicas)
+	m.EscapeDelay.Merge(&other.EscapeDelay)
+	if other.Prefixes != nil {
+		if m.Prefixes == nil {
+			m.Prefixes = NewTopK(topKCap)
+		}
+		m.Prefixes.Merge(other.Prefixes)
+	}
+}
+
+// validate checks a decoded metricSet.
+func (m *metricSet) validate() error {
+	for _, v := range []interface{ validate() error }{
+		&m.Duration, &m.TTLDelta, &m.Streams, &m.Replicas, &m.EscapeDelay,
+	} {
+		if err := v.validate(); err != nil {
+			return err
+		}
+	}
+	if m.Prefixes != nil {
+		return m.Prefixes.validate()
+	}
+	return nil
+}
+
+// segment is one time partition of one tier: observations whose ingest
+// time fell in [Start, Start+span).
+type segment struct {
+	// StartUnix is the segment's aligned start, in unix seconds.
+	StartUnix int64      `json:"start"`
+	MS        *metricSet `json:"ms"`
+}
+
+// sourceWindows is one source's full window state: per-tier segment
+// rings plus the cumulative view.
+type sourceWindows struct {
+	Tiers [][]segment `json:"tiers"`
+	All   *metricSet  `json:"all"`
+}
+
+func newSourceWindows() *sourceWindows {
+	return &sourceWindows{Tiers: make([][]segment, len(tiers)), All: &metricSet{}}
+}
+
+// seenCap bounds the Collector's duplicate-suppression ring. It must
+// exceed the number of events a crash window can replay (events since
+// the last snapshot, or one dir segment's worth); 64k IDs is hours of
+// heavy looping and ~4 MB, persisted with the snapshot.
+const seenCap = 65536
+
+// Options configures a Collector.
+type Options struct {
+	// Now supplies the ingest clock; nil uses time.Now. Tests pin it.
+	Now func() time.Time
+	// OnIngest and OnDedup, when non-nil, fire once per recorded and
+	// per suppressed observation — the daemon bridges them into its
+	// metrics registry without this package importing it.
+	OnIngest func()
+	OnDedup  func()
+}
+
+// Collector is the streaming analytics state: per-source window tiers
+// of mergeable sketches, a cumulative view, and a bounded
+// recently-seen event-ID ring that makes ingestion idempotent across
+// the daemon's at-least-once redelivery. Safe for concurrent use.
+type Collector struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	onIngest func()
+	onDedup  func()
+	sources  map[string]*sourceWindows
+	seen     map[string]struct{}
+	seenFIFO []string
+	ingested uint64
+	deduped  uint64
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector(opts Options) *Collector {
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Collector{
+		now:      now,
+		onIngest: opts.OnIngest,
+		onDedup:  opts.OnDedup,
+		sources:  make(map[string]*sourceWindows),
+		seen:     make(map[string]struct{}),
+	}
+}
+
+// RecordLoop ingests one finalized loop for source. A LoopObs whose ID
+// was recently ingested is dropped (counted), which is what keeps
+// checkpoint-resume replays and dir-source re-derivations from double
+// counting. Nil-safe: a nil Collector ignores the call, so callers
+// can leave analytics unwired without a branch.
+func (c *Collector) RecordLoop(source string, o LoopObs) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if o.ID != "" {
+		if _, dup := c.seen[o.ID]; dup {
+			c.deduped++
+			if c.onDedup != nil {
+				c.onDedup()
+			}
+			return
+		}
+		c.seen[o.ID] = struct{}{}
+		c.seenFIFO = append(c.seenFIFO, o.ID)
+		if len(c.seenFIFO) > seenCap {
+			delete(c.seen, c.seenFIFO[0])
+			c.seenFIFO = c.seenFIFO[1:]
+		}
+	}
+	c.ingested++
+	if c.onIngest != nil {
+		c.onIngest()
+	}
+	sw := c.sources[source]
+	if sw == nil {
+		sw = newSourceWindows()
+		c.sources[source] = sw
+	}
+	nowUnix := c.now().Unix()
+	for ti, t := range tiers {
+		spanSec := int64(t.span / time.Second)
+		start := nowUnix - nowUnix%spanSec
+		segs := sw.Tiers[ti]
+		if n := len(segs); n == 0 || segs[n-1].StartUnix != start {
+			segs = append(segs, segment{StartUnix: start, MS: &metricSet{}})
+			if len(segs) > t.keep {
+				segs = segs[len(segs)-t.keep:]
+			}
+			sw.Tiers[ti] = segs
+		}
+		sw.Tiers[ti][len(sw.Tiers[ti])-1].MS.record(o)
+	}
+	sw.All.record(o)
+}
+
+// Counts reports how many loops were ingested and how many were
+// suppressed as duplicates.
+func (c *Collector) Counts() (ingested, deduped uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ingested, c.deduped
+}
+
+// Sources returns the source names with any recorded state, sorted.
+func (c *Collector) Sources() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.sources))
+	for name := range c.sources {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseWindow parses a stats window parameter: "all" (or empty) means
+// the cumulative view; otherwise a Go duration between one minute and
+// MaxWindow.
+func ParseWindow(s string) (time.Duration, error) {
+	if s == "" || s == "all" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad window %q: want a duration like 5m, 1h, 24h, or \"all\"", s)
+	}
+	if d < time.Minute || d > MaxWindow {
+		return 0, fmt.Errorf("window %q out of range: want 1m..%s or \"all\"", s, MaxWindow)
+	}
+	return d, nil
+}
+
+// Query describes one stats request.
+type Query struct {
+	// Window is the lookback horizon; 0 means cumulative ("all").
+	Window time.Duration
+	// Source restricts to one source; empty merges all sources.
+	Source string
+	// Metric restricts to one metric; empty returns all.
+	Metric string
+}
+
+// MetricStats is one metric's distribution over the queried window.
+type MetricStats struct {
+	Metric string `json:"metric"`
+	// Kind is "sketch" (quantiles within the relative error bound) or
+	// "exact" (integer histogram).
+	Kind      string           `json:"kind"`
+	Count     uint64           `json:"count"`
+	Mean      float64          `json:"mean"`
+	Min       int64            `json:"min"`
+	Max       int64            `json:"max"`
+	Quantiles map[string]int64 `json:"quantiles"`
+	Buckets   []Bucket         `json:"buckets"`
+}
+
+// Stats is a stats query's result.
+type Stats struct {
+	Window string `json:"window"`
+	Source string `json:"source,omitempty"`
+	// Loops is the number of loops the window holds.
+	Loops uint64 `json:"loops"`
+	// ErrorBound is the sketch metrics' relative quantile error.
+	ErrorBound  float64                `json:"errorBound"`
+	Metrics     map[string]MetricStats `json:"metrics"`
+	TopPrefixes []TopKItem             `json:"topPrefixes"`
+}
+
+// quantilePoints are the quantiles every stats row reports.
+var quantilePoints = []struct {
+	name string
+	q    float64
+}{{"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}}
+
+// ErrUnknownMetric reports a metric name outside Metrics.
+type ErrUnknownMetric struct{ Name string }
+
+func (e *ErrUnknownMetric) Error() string {
+	return fmt.Sprintf("unknown metric %q: want one of %v", e.Name, Metrics)
+}
+
+// ErrUnknownSource reports a source with no analytics state.
+type ErrUnknownSource struct{ Name string }
+
+func (e *ErrUnknownSource) Error() string {
+	return fmt.Sprintf("unknown source %q", e.Name)
+}
+
+// Query answers one stats request by merging the relevant window
+// segments (and sources) into a scratch metricSet — the stored
+// segments are never mutated by reads.
+func (c *Collector) Query(q Query) (*Stats, error) {
+	if c == nil {
+		return nil, fmt.Errorf("analytics disabled")
+	}
+	if q.Metric != "" && !validMetric(q.Metric) {
+		return nil, &ErrUnknownMetric{Name: q.Metric}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var sws []*sourceWindows
+	if q.Source != "" {
+		sw := c.sources[q.Source]
+		if sw == nil {
+			return nil, &ErrUnknownSource{Name: q.Source}
+		}
+		sws = []*sourceWindows{sw}
+	} else {
+		for _, name := range c.sourceNamesLocked() {
+			sws = append(sws, c.sources[name])
+		}
+	}
+
+	merged := &metricSet{}
+	windowName := "all"
+	if q.Window <= 0 {
+		for _, sw := range sws {
+			merged.merge(sw.All)
+		}
+	} else {
+		windowName = q.Window.String()
+		ti := tierFor(q.Window)
+		cutoff := c.now().Add(-q.Window).Unix()
+		spanSec := int64(tiers[ti].span / time.Second)
+		for _, sw := range sws {
+			for i := range sw.Tiers[ti] {
+				seg := &sw.Tiers[ti][i]
+				// A segment overlaps the window when it ends after the
+				// cutoff; boundary segments are included whole (windows
+				// round outward to segment edges — documented).
+				if seg.StartUnix+spanSec > cutoff {
+					merged.merge(seg.MS)
+				}
+			}
+		}
+	}
+
+	st := &Stats{
+		Window:      windowName,
+		Source:      q.Source,
+		Loops:       merged.Loops,
+		ErrorBound:  SketchAlpha,
+		Metrics:     make(map[string]MetricStats),
+		TopPrefixes: []TopKItem{},
+	}
+	if merged.Prefixes != nil {
+		st.TopPrefixes = merged.Prefixes.Top()
+	}
+	for _, name := range Metrics {
+		if q.Metric != "" && q.Metric != name {
+			continue
+		}
+		st.Metrics[name] = metricStats(name, merged)
+	}
+	return st, nil
+}
+
+// EmptyStats returns the stats document of a source with no
+// observations: every metric present with zero counts, correct kinds,
+// and empty buckets — the shape the stats API serves before a
+// source's first loop.
+func EmptyStats(window, source string) *Stats {
+	if window == "" {
+		window = "all"
+	}
+	st := &Stats{
+		Window:      window,
+		Source:      source,
+		ErrorBound:  SketchAlpha,
+		Metrics:     make(map[string]MetricStats),
+		TopPrefixes: []TopKItem{},
+	}
+	empty := &metricSet{}
+	for _, name := range Metrics {
+		st.Metrics[name] = metricStats(name, empty)
+	}
+	return st
+}
+
+// sourceNamesLocked returns source names sorted, under c.mu — sorted
+// iteration keeps merges deterministic (they would be correct in any
+// order; determinism makes tests and snapshots byte-stable).
+func (c *Collector) sourceNamesLocked() []string {
+	names := make([]string, 0, len(c.sources))
+	for name := range c.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// tierFor picks the finest tier whose retention covers the window.
+func tierFor(w time.Duration) int {
+	for i, t := range tiers {
+		if w <= t.span*time.Duration(t.keep) {
+			return i
+		}
+	}
+	return len(tiers) - 1
+}
+
+// validMetric reports whether name is a known metric.
+func validMetric(name string) bool {
+	for _, m := range Metrics {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// metricStats renders one metric of a merged set.
+func metricStats(name string, m *metricSet) MetricStats {
+	var (
+		kind       string
+		count      uint64
+		mean       float64
+		min, max   int64
+		quantileAt func(float64) int64
+		buckets    []Bucket
+	)
+	switch name {
+	case MetricDuration, MetricReplicas, MetricEscapeDelay:
+		var s *Sketch
+		switch name {
+		case MetricDuration:
+			s = &m.Duration
+		case MetricReplicas:
+			s = &m.Replicas
+		default:
+			s = &m.EscapeDelay
+		}
+		kind, count, mean = "sketch", s.Count(), s.Mean()
+		if count > 0 {
+			min, max = s.Min, s.Max
+		}
+		quantileAt, buckets = s.Quantile, s.Buckets()
+	case MetricTTLDelta, MetricStreams:
+		h := &m.TTLDelta
+		if name == MetricStreams {
+			h = &m.Streams
+		}
+		kind, count, mean = "exact", h.Count(), h.Mean()
+		min, max = h.MinMax()
+		quantileAt, buckets = h.Quantile, h.Buckets()
+	}
+	ms := MetricStats{
+		Metric: name, Kind: kind, Count: count, Mean: mean,
+		Min: min, Max: max,
+		Quantiles: make(map[string]int64, len(quantilePoints)),
+		Buckets:   buckets,
+	}
+	if ms.Buckets == nil {
+		ms.Buckets = []Bucket{}
+	}
+	for _, qp := range quantilePoints {
+		if count > 0 {
+			ms.Quantiles[qp.name] = quantileAt(qp.q)
+		} else {
+			ms.Quantiles[qp.name] = 0
+		}
+	}
+	return ms
+}

@@ -1,0 +1,161 @@
+package analytics
+
+import (
+	"errors"
+	"sort"
+)
+
+// TopK is a space-saving heavy-hitter counter (Metwally et al.): it
+// tracks at most Cap keys; when a new key arrives at capacity it
+// evicts the key with the smallest count and inherits that count as
+// its overestimation error. For any key actually among the heaviest,
+// Count is an overestimate by at most Err — the documented bound the
+// stats API reports alongside every row.
+//
+// Merging two summaries sums counts and errors for shared keys, keeps
+// the union's heaviest Cap keys, and folds the dropped keys' weight
+// into the survivors' error the same way eviction does. The result is
+// order-insensitive in which keys survive only up to ties; the count
+// and error bounds hold regardless of merge order.
+type TopK struct {
+	Cap   int            `json:"cap"`
+	Items []TopKItem     `json:"items,omitempty"`
+	idx   map[string]int // key -> Items index; rebuilt after decode
+}
+
+// TopKItem is one tracked key.
+type TopKItem struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+	// Err is the maximum overestimation of Count.
+	Err uint64 `json:"err,omitempty"`
+}
+
+// NewTopK returns a counter tracking at most cap keys (minimum 1).
+func NewTopK(cap int) *TopK {
+	if cap < 1 {
+		cap = 1
+	}
+	return &TopK{Cap: cap, idx: make(map[string]int)}
+}
+
+// ensureIdx rebuilds the key index after a decode left it nil.
+func (t *TopK) ensureIdx() {
+	if t.idx != nil {
+		return
+	}
+	t.idx = make(map[string]int, len(t.Items))
+	for i, it := range t.Items {
+		t.idx[it.Key] = i
+	}
+}
+
+// Add counts one occurrence of key.
+func (t *TopK) Add(key string) { t.AddN(key, 1) }
+
+// AddN counts n occurrences of key.
+func (t *TopK) AddN(key string, n uint64) {
+	if n == 0 {
+		return
+	}
+	t.ensureIdx()
+	if i, ok := t.idx[key]; ok {
+		t.Items[i].Count += n
+		return
+	}
+	if len(t.Items) < t.Cap {
+		t.idx[key] = len(t.Items)
+		t.Items = append(t.Items, TopKItem{Key: key, Count: n})
+		return
+	}
+	// Evict the minimum-count key; the newcomer inherits its count as
+	// overestimation error.
+	min := 0
+	for i := 1; i < len(t.Items); i++ {
+		if t.Items[i].Count < t.Items[min].Count {
+			min = i
+		}
+	}
+	evicted := t.Items[min]
+	delete(t.idx, evicted.Key)
+	t.Items[min] = TopKItem{Key: key, Count: evicted.Count + n, Err: evicted.Count}
+	t.idx[key] = min
+}
+
+// Merge folds other into t.
+func (t *TopK) Merge(other *TopK) {
+	if other == nil || len(other.Items) == 0 {
+		return
+	}
+	t.ensureIdx()
+	merged := make(map[string]TopKItem, len(t.Items)+len(other.Items))
+	for _, it := range t.Items {
+		merged[it.Key] = it
+	}
+	for _, it := range other.Items {
+		if have, ok := merged[it.Key]; ok {
+			have.Count += it.Count
+			have.Err += it.Err
+			merged[it.Key] = have
+		} else {
+			merged[it.Key] = it
+		}
+	}
+	items := make([]TopKItem, 0, len(merged))
+	for _, it := range merged {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Count != items[j].Count {
+			return items[i].Count > items[j].Count
+		}
+		return items[i].Key < items[j].Key
+	})
+	if len(items) > t.Cap {
+		// Dropped keys could have been any of the survivors undercounted
+		// elsewhere: fold the largest dropped count into every survivor's
+		// error bound, exactly like eviction does.
+		spill := items[t.Cap].Count
+		items = items[:t.Cap]
+		for i := range items {
+			items[i].Err += spill
+		}
+	}
+	t.Items = items
+	t.idx = nil
+	t.ensureIdx()
+}
+
+// Top returns the tracked keys, heaviest first (ties by key).
+func (t *TopK) Top() []TopKItem {
+	out := make([]TopKItem, len(t.Items))
+	copy(out, t.Items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// validate rejects impossible images from a snapshot.
+func (t *TopK) validate() error {
+	if t.Cap < 1 || t.Cap > 1<<16 {
+		return errors.New("analytics: top-k capacity out of range")
+	}
+	if len(t.Items) > t.Cap {
+		return errors.New("analytics: top-k holds more keys than its capacity")
+	}
+	seen := make(map[string]bool, len(t.Items))
+	for _, it := range t.Items {
+		if it.Key == "" || seen[it.Key] {
+			return errors.New("analytics: top-k has empty or duplicate key")
+		}
+		if it.Err > it.Count {
+			return errors.New("analytics: top-k error bound exceeds count")
+		}
+		seen[it.Key] = true
+	}
+	return nil
+}

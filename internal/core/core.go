@@ -202,6 +202,20 @@ func (l *Loop) Replicas() int {
 	return n
 }
 
+// EscapeDelays returns the loop delay of each escaped stream (the
+// paper's escape-delay distribution, Figure 9): how long the loop
+// held each packet that plausibly left it alive. Streams whose packet
+// expired inside the loop contribute nothing.
+func (l *Loop) EscapeDelays() []time.Duration {
+	var out []time.Duration
+	for _, s := range l.Streams {
+		if s.Escaped() {
+			out = append(out, s.LoopDelay())
+		}
+	}
+	return out
+}
+
 // Result is the detector's output for one trace.
 type Result struct {
 	// Streams are the validated replica streams, ordered by first

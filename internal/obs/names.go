@@ -72,6 +72,11 @@ const (
 	MetricJournalRequeued    = "loopscope_serve_journal_requeued_total"
 	MetricTornRepairs        = "loopscope_serve_torn_repairs_total"
 	MetricFaultsInjected     = "loopscope_faults_injected_total"
+
+	// Time-partitioned journal retention and analytics persistence.
+	MetricJournalSegmentsPruned = "loopscope_serve_journal_segments_pruned_total"
+	MetricAnalyticsIngested     = "loopscope_analytics_ingested_total"
+	MetricAnalyticsDeduped      = "loopscope_analytics_deduped_total"
 )
 
 // DetectLatencyBounds are the default bucket upper bounds (in
@@ -128,13 +133,16 @@ var metricHelp = map[string]string{
 
 	MetricLogMessages: "Log messages emitted per level.",
 
-	MetricShed:               "Work shed by overload self-protection, by reason.",
-	MetricComponentHealth:    "Component health state (0 healthy, 1 degraded, 2 failing).",
-	MetricBreakerState:       "Circuit breaker position (0 closed, 1 half-open, 2 open).",
-	MetricBreakerTransitions: "Circuit breaker state transitions.",
-	MetricJournalRequeued:    "Journal events parked for retry after a write failure.",
-	MetricTornRepairs:        "Torn (partial) trailing lines quarantined on startup.",
-	MetricFaultsInjected:     "Faults injected by the chaos plan (test builds only).",
+	MetricShed:                  "Work shed by overload self-protection, by reason.",
+	MetricComponentHealth:       "Component health state (0 healthy, 1 degraded, 2 failing).",
+	MetricBreakerState:          "Circuit breaker position (0 closed, 1 half-open, 2 open).",
+	MetricBreakerTransitions:    "Circuit breaker state transitions.",
+	MetricJournalRequeued:       "Journal events parked for retry after a write failure.",
+	MetricTornRepairs:           "Torn (partial) trailing lines quarantined on startup.",
+	MetricJournalSegmentsPruned: "Journal segments deleted by time-partitioned retention.",
+	MetricAnalyticsIngested:     "Loop events folded into the analytics sketches.",
+	MetricAnalyticsDeduped:      "Replayed loop events suppressed by the analytics seen-ID ring.",
+	MetricFaultsInjected:        "Faults injected by the chaos plan (test builds only).",
 
 	"loopscope_stage_seconds_total": "Wall-clock seconds spent per pipeline stage.",
 	"loopscope_stage_runs_total":    "Completed spans per pipeline stage.",

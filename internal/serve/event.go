@@ -41,13 +41,16 @@ type Event struct {
 	Prefix string `json:"prefix"`
 	// Seq is the emission sequence number within the source (-1 for
 	// truncated emissions).
-	Seq         int   `json:"seq"`
-	StartNs     int64 `json:"startNs"`
-	EndNs       int64 `json:"endNs"`
-	DurationNs  int64 `json:"durationNs"`
-	Streams     int   `json:"streams"`
-	Replicas    int   `json:"replicas"`
-	TTLDelta    int   `json:"ttlDelta"`
+	Seq        int   `json:"seq"`
+	StartNs    int64 `json:"startNs"`
+	EndNs      int64 `json:"endNs"`
+	DurationNs int64 `json:"durationNs"`
+	Streams    int   `json:"streams"`
+	Replicas   int   `json:"replicas"`
+	TTLDelta   int   `json:"ttlDelta"`
+	// Escaped counts the loop's streams whose packet plausibly left the
+	// loop alive (core.ReplicaStream.Escaped).
+	Escaped     int   `json:"escaped,omitempty"`
 	Truncated   bool  `json:"truncated,omitempty"`
 	EmittedAtNs int64 `json:"emittedAtNs"`
 }
@@ -70,6 +73,11 @@ func newEvent(source, link string, se core.SessionEvent, now time.Time) Event {
 	}
 	if len(l.Streams) > 0 {
 		ev.TTLDelta = l.Streams[0].TTLDelta()
+	}
+	for _, s := range l.Streams {
+		if s.Escaped() {
+			ev.Escaped++
+		}
 	}
 	ev.ID = eventID(source, ev.Prefix, ev.StartNs)
 	if se.Truncated {

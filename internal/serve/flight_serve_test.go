@@ -117,7 +117,7 @@ func TestDaemonFlightTraceAndStatusz(t *testing.T) {
 		t.Fatalf("statusz status = %d, want 200", resp.StatusCode)
 	}
 	page := string(body)
-	for _, want := range []string{"t1", "/api/trace/", "flight recorder"} {
+	for _, want := range []string{"t1", "/api/v1/trace/", "flight recorder"} {
 		if !strings.Contains(page, want) {
 			t.Errorf("statusz missing %q", want)
 		}

@@ -2,38 +2,360 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"loopscope/internal/analytics"
 	"loopscope/internal/resil"
 )
 
-// Handler returns the daemon's HTTP API, with the obs registry's
-// endpoints (/metrics, /debug/vars, /debug/pprof) mounted alongside it
-// when a registry is configured:
+// The daemon's HTTP surface is versioned. Canonical endpoints live
+// under /api/v1 and share one JSON envelope:
 //
-//	/healthz        liveness: 200 + JSON status
-//	/api/loops      recent loop events, newest first (?n=, ?source=)
-//	/api/sources    per-source status
-//	/api/trace/{id} one loop's flight-recorder decision trail
-//	/statusz        human-readable daemon status page
+//	{"data": …, "meta": {"api": "v1", …}}
 //
+// and one error shape with a correct status code:
+//
+//	{"error": {"code": "bad_param", "message": "…"}}
+//
+// The pre-v1 paths (/healthz, /api/loops, /api/sources, /api/trace/,
+// /statusz) remain as thin aliases with their original payload shapes,
+// answering with a `Deprecation: true` header and a Link to their
+// successor, so existing scripts keep working while new consumers get
+// the uniform surface.
+
+// route is one row of the daemon's routing table: a canonical
+// /api/v1 pattern plus, optionally, the deprecated pre-v1 alias it
+// supersedes (kept byte-compatible for old consumers).
+type route struct {
+	// pattern is a canonical ServeMux pattern ("GET /api/v1/loops").
+	pattern string
+	handler http.HandlerFunc
+	// legacy, when set, registers the pre-v1 alias path with its
+	// original payload shape plus deprecation headers.
+	legacy        string
+	legacyHandler http.HandlerFunc
+	// successor is the v1 path the alias's Link header advertises.
+	successor string
+}
+
+// routes is the daemon's full API surface, in one place.
+func (d *Daemon) routes() []route {
+	return []route{
+		{pattern: "GET /api/v1/health", handler: d.v1Health,
+			legacy: "/healthz", legacyHandler: d.handleHealthz, successor: "/api/v1/health"},
+		{pattern: "GET /api/v1/loops", handler: d.v1Loops,
+			legacy: "/api/loops", legacyHandler: d.handleLoops, successor: "/api/v1/loops"},
+		{pattern: "GET /api/v1/sources", handler: d.v1Sources,
+			legacy: "/api/sources", legacyHandler: d.handleSources, successor: "/api/v1/sources"},
+		{pattern: "GET /api/v1/trace", handler: d.v1Trace,
+			legacy: "/api/trace/", legacyHandler: d.handleTrace, successor: "/api/v1/trace"},
+		{pattern: "GET /api/v1/trace/{id}", handler: d.v1Trace},
+		{pattern: "GET /api/v1/stats", handler: d.v1Stats},
+		{pattern: "GET /api/v1/statusz", handler: d.handleStatusz,
+			legacy: "/statusz", legacyHandler: d.handleStatusz, successor: "/api/v1/statusz"},
+	}
+}
+
+// Handler returns the daemon's HTTP API, built from the routes table,
+// with the obs registry's endpoints (/metrics, /debug/vars,
+// /debug/pprof) mounted alongside it when a registry is configured.
 // Serve it with obs.StartHandler for the loopback-by-default policy.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", d.handleHealthz)
-	mux.HandleFunc("/api/loops", d.handleLoops)
-	mux.HandleFunc("/api/sources", d.handleSources)
-	mux.HandleFunc("/api/trace/", d.handleTrace)
-	mux.HandleFunc("/statusz", d.handleStatusz)
+	for _, rt := range d.routes() {
+		mux.HandleFunc(rt.pattern, rt.handler)
+		if rt.legacy != "" {
+			mux.Handle(rt.legacy, deprecatedAlias(rt.successor, rt.legacyHandler))
+		}
+	}
 	if d.cfg.Metrics != nil {
 		mux.Handle("/", d.cfg.Metrics.Handler())
 	}
 	return mux
 }
+
+// deprecatedAlias wraps a legacy handler with the RFC 8594-style
+// deprecation headers so automated consumers can discover the
+// successor endpoint without breaking.
+func deprecatedAlias(successor string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", successor, "successor-version"))
+		h(w, r)
+	})
+}
+
+// apiMeta is the envelope's metadata block.
+type apiMeta struct {
+	API string `json:"api"`
+	// Total is the all-time event count behind a paginated listing.
+	Total *int64 `json:"total,omitempty"`
+	// NextCursor, when present, fetches the next (older) page.
+	NextCursor *int64 `json:"nextCursor,omitempty"`
+}
+
+// apiEnvelope is every v1 success response.
+type apiEnvelope struct {
+	Data any     `json:"data"`
+	Meta apiMeta `json:"meta"`
+}
+
+// apiErrorBody is every v1 error response.
+type apiErrorBody struct {
+	Error apiErrorDetail `json:"error"`
+}
+
+type apiErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// v1 error codes.
+const (
+	errBadParam = "bad_param" // malformed or unknown query parameter (400)
+	errNotFound = "not_found" // well-formed reference to a missing resource (404)
+	errDisabled = "disabled"  // the subsystem behind the endpoint is not configured (404)
+)
+
+// writeV1 renders one enveloped v1 response.
+func writeV1(w http.ResponseWriter, code int, data any, meta apiMeta) {
+	meta.API = "v1"
+	writeJSON(w, code, apiEnvelope{Data: data, Meta: meta})
+}
+
+// writeV1Error renders one v1 error object.
+func writeV1Error(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, apiErrorBody{Error: apiErrorDetail{Code: code, Message: msg}})
+}
+
+// strictParams enforces the v1 query-parameter contract: every
+// parameter must be known and appear at most once. A typo'd or
+// repeated parameter is a 400, never silently ignored — the fix for
+// the pre-v1 surface where unknown params fell through.
+func strictParams(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
+	for name, vals := range r.URL.Query() {
+		known := false
+		for _, a := range allowed {
+			if name == a {
+				known = true
+				break
+			}
+		}
+		if !known {
+			writeV1Error(w, http.StatusBadRequest, errBadParam,
+				fmt.Sprintf("unknown parameter %q (allowed: %s)", name, strings.Join(allowed, ", ")))
+			return false
+		}
+		if len(vals) > 1 {
+			writeV1Error(w, http.StatusBadRequest, errBadParam,
+				fmt.Sprintf("parameter %q repeated", name))
+			return false
+		}
+	}
+	return true
+}
+
+// sourceNames returns the configured source names (the valid values of
+// every ?source= parameter).
+func (d *Daemon) sourceNames() []string {
+	names := make([]string, 0, len(d.sources))
+	for _, s := range d.sources {
+		names = append(names, s.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// checkSourceParam validates an optional ?source= against the
+// configured sources; a well-formed but unknown name is a 404.
+func (d *Daemon) checkSourceParam(w http.ResponseWriter, src string) bool {
+	if src == "" {
+		return true
+	}
+	for _, s := range d.sources {
+		if s.name == src {
+			return true
+		}
+	}
+	writeV1Error(w, http.StatusNotFound, errNotFound,
+		fmt.Sprintf("unknown source %q (have: %s)", src, strings.Join(d.sourceNames(), ", ")))
+	return false
+}
+
+// v1Health serves GET /api/v1/health: the legacy /healthz body inside
+// the envelope.
+func (d *Daemon) v1Health(w http.ResponseWriter, r *http.Request) {
+	if !strictParams(w, r) {
+		return
+	}
+	writeV1(w, http.StatusOK, d.healthBody(), apiMeta{})
+}
+
+// healthBody builds the health document both /healthz and
+// /api/v1/health serve.
+func (d *Daemon) healthBody() map[string]any {
+	var records int64
+	for _, s := range d.sources {
+		s.mu.Lock()
+		records += s.cp.Records
+		s.mu.Unlock()
+	}
+	status := "ok"
+	if worst := d.health.Worst(); worst != resil.Healthy {
+		status = worst.String()
+	}
+	body := map[string]any{
+		"status":  status,
+		"uptimeS": int64(time.Since(d.started).Seconds()),
+		"sources": len(d.sources),
+		"records": records,
+		"events":  d.ring.Total(),
+	}
+	if snap := d.health.Snapshot(); len(snap) > 0 {
+		body["health"] = snap
+	}
+	return body
+}
+
+// v1LoopsMaxLimit caps one page of GET /api/v1/loops.
+const v1LoopsMaxLimit = 1000
+
+// v1LoopEvent is one event row of GET /api/v1/loops: the event plus
+// its ring sequence number (the pagination coordinate).
+type v1LoopEvent struct {
+	Seq   int64 `json:"seq"`
+	Event Event `json:"event"`
+}
+
+// v1Loops serves GET /api/v1/loops?limit=&cursor=&source= with cursor
+// pagination: walk newest-to-oldest, follow meta.nextCursor until it
+// disappears.
+func (d *Daemon) v1Loops(w http.ResponseWriter, r *http.Request) {
+	if !strictParams(w, r, "limit", "cursor", "source") {
+		return
+	}
+	q := r.URL.Query()
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 || parsed > v1LoopsMaxLimit {
+			writeV1Error(w, http.StatusBadRequest, errBadParam,
+				fmt.Sprintf("limit must be an integer in 1..%d, got %q", v1LoopsMaxLimit, v))
+			return
+		}
+		limit = parsed
+	}
+	var cursor int64
+	if v := q.Get("cursor"); v != "" {
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || parsed < 1 {
+			writeV1Error(w, http.StatusBadRequest, errBadParam,
+				fmt.Sprintf("cursor must be a positive integer, got %q", v))
+			return
+		}
+		cursor = parsed
+	}
+	src := q.Get("source")
+	if !d.checkSourceParam(w, src) {
+		return
+	}
+	var keep func(Event) bool
+	if src != "" {
+		keep = func(e Event) bool { return e.Source == src }
+	}
+	page := d.ring.PageAfter(cursor, limit, keep)
+	events := make([]v1LoopEvent, len(page.Events))
+	for i := range page.Events {
+		events[i] = v1LoopEvent{Seq: page.Seqs[i], Event: page.Events[i]}
+	}
+	meta := apiMeta{Total: &page.Total}
+	if page.Next > 0 {
+		meta.NextCursor = &page.Next
+	}
+	writeV1(w, http.StatusOK, map[string]any{"events": events}, meta)
+}
+
+// v1Sources serves GET /api/v1/sources.
+func (d *Daemon) v1Sources(w http.ResponseWriter, r *http.Request) {
+	if !strictParams(w, r) {
+		return
+	}
+	infos := make([]SourceInfo, 0, len(d.sources))
+	for _, s := range d.sources {
+		infos = append(infos, s.info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeV1(w, http.StatusOK, map[string]any{"sources": infos}, apiMeta{})
+}
+
+// v1Trace serves GET /api/v1/trace (trail index) and
+// GET /api/v1/trace/{id} (one sealed decision trail).
+func (d *Daemon) v1Trace(w http.ResponseWriter, r *http.Request) {
+	if !strictParams(w, r) {
+		return
+	}
+	if d.cfg.Flight == nil {
+		writeV1Error(w, http.StatusNotFound, errDisabled, "flight recorder disabled")
+		return
+	}
+	id := r.PathValue("id")
+	if id == "" {
+		writeV1(w, http.StatusOK, map[string]any{"trails": d.cfg.Flight.TrailIDs()}, apiMeta{})
+		return
+	}
+	tr := d.cfg.Flight.Trail(id)
+	if tr == nil {
+		writeV1Error(w, http.StatusNotFound, errNotFound, "unknown trail "+id)
+		return
+	}
+	writeV1(w, http.StatusOK, tr, apiMeta{})
+}
+
+// v1Stats serves GET /api/v1/stats?window=&source=&metric=: the
+// analytics subsystem's quantiles, histogram buckets, and top-K
+// prefixes for the chosen window.
+func (d *Daemon) v1Stats(w http.ResponseWriter, r *http.Request) {
+	if !strictParams(w, r, "window", "source", "metric") {
+		return
+	}
+	a := d.cfg.Analytics
+	if a == nil {
+		writeV1Error(w, http.StatusNotFound, errDisabled, "analytics disabled")
+		return
+	}
+	q := r.URL.Query()
+	window, err := analytics.ParseWindow(q.Get("window"))
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, errBadParam, err.Error())
+		return
+	}
+	src := q.Get("source")
+	if !d.checkSourceParam(w, src) {
+		return
+	}
+	st, err := a.Query(analytics.Query{Window: window, Source: src, Metric: q.Get("metric")})
+	if err != nil {
+		switch err.(type) {
+		case *analytics.ErrUnknownMetric:
+			writeV1Error(w, http.StatusBadRequest, errBadParam, err.Error())
+		case *analytics.ErrUnknownSource:
+			// The source exists but has recorded nothing yet: an empty
+			// stats document, not an error.
+			writeV1(w, http.StatusOK, analytics.EmptyStats(q.Get("window"), src), apiMeta{})
+		default:
+			writeV1Error(w, http.StatusNotFound, errDisabled, err.Error())
+		}
+		return
+	}
+	writeV1(w, http.StatusOK, st, apiMeta{})
+}
+
+// --- legacy (pre-v1) handlers; payload shapes are frozen ---
 
 // handleTrace serves one sealed decision trail by loop event ID.
 func (d *Daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
@@ -61,27 +383,7 @@ func (d *Daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
 // even when degraded — the process is alive and self-protecting;
 // killing it would only lose state.
 func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	var records int64
-	for _, s := range d.sources {
-		s.mu.Lock()
-		records += s.cp.Records
-		s.mu.Unlock()
-	}
-	status := "ok"
-	if worst := d.health.Worst(); worst != resil.Healthy {
-		status = worst.String()
-	}
-	body := map[string]any{
-		"status":  status,
-		"uptimeS": int64(time.Since(d.started).Seconds()),
-		"sources": len(d.sources),
-		"records": records,
-		"events":  d.ring.Total(),
-	}
-	if snap := d.health.Snapshot(); len(snap) > 0 {
-		body["health"] = snap
-	}
-	writeJSON(w, http.StatusOK, body)
+	writeJSON(w, http.StatusOK, d.healthBody())
 }
 
 // handleLoops returns the most recent loop events, newest first.

@@ -9,7 +9,12 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"loopscope/internal/obs"
 	"loopscope/internal/resil"
@@ -23,8 +28,19 @@ type JournalOptions struct {
 	// (<= 0: never rotate).
 	MaxBytes int64
 	// Keep is how many rotated files to retain (path.1 .. path.Keep);
-	// <= 0 selects 3.
+	// <= 0 selects 3. Ignored when Retain is set.
 	Keep int
+	// Retain, when positive, switches rotation from counted
+	// generations to time-partitioned segments: rotated files are
+	// named path.<unix-seconds> (the rotation instant), a live segment
+	// also rotates once its age exceeds Retain/8 (clamped to
+	// [1min, 24h]), and segments older than Retain are deleted at open
+	// and on every rotation — days of operation stay bounded on disk
+	// without an external logrotate. MaxBytes still bounds single
+	// segments in this mode.
+	Retain time.Duration
+	// Now supplies the retention clock; nil uses time.Now. Tests pin it.
+	Now func() time.Time
 	// PendingMax bounds the in-memory retry queue for events whose
 	// write failed (<= 0: 1024). While the queue is non-empty the
 	// journal is degraded; when it overflows, new events are dropped
@@ -71,10 +87,12 @@ type JournalOptions struct {
 type Journal struct {
 	opts JournalOptions
 	log  *slog.Logger
+	now  func() time.Time
 
 	mu         sync.Mutex
 	f          *os.File
 	size       int64
+	segOpened  time.Time // retention mode: when the live segment began
 	seen       map[string]struct{}
 	pending    [][]byte // marshaled lines awaiting retry, in order
 	pendingIDs map[string]struct{}
@@ -84,6 +102,7 @@ type Journal struct {
 	dups      *obs.Counter
 	drops     *obs.Counter
 	requeued  *obs.Counter
+	pruned    *obs.Counter
 }
 
 // NewJournal opens (creating if needed) the journal at opts.Path,
@@ -100,25 +119,40 @@ func NewJournal(opts JournalOptions) (*Journal, error) {
 	if log == nil {
 		log = obs.NopLogger()
 	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
 	j := &Journal{
 		opts:       opts,
 		log:        log,
+		now:        now,
 		seen:       make(map[string]struct{}),
 		pendingIDs: make(map[string]struct{}),
 		delivered:  opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDelivered, "sink", "journal")),
 		dups:       opts.Metrics.Counter(obs.MetricServeJournalDup),
 		drops:      opts.Metrics.Counter(obs.LabelMetric(obs.MetricServeSinkDropped, "sink", "journal")),
 		requeued:   opts.Metrics.Counter(obs.MetricJournalRequeued),
+		pruned:     opts.Metrics.Counter(obs.MetricJournalSegmentsPruned),
 	}
 	if torn, err := repairTornTail(opts.Path, log); err != nil {
 		return nil, fmt.Errorf("serve: journal: %w", err)
 	} else if torn > 0 {
 		opts.Metrics.Counter(obs.LabelMetric(obs.MetricTornRepairs, "file", "journal")).Inc()
 	}
-	// Oldest generation first so the live file wins any (impossible,
-	// but cheap to honor) conflicts.
-	for i := opts.Keep; i >= 1; i-- {
-		j.loadSeen(fmt.Sprintf("%s.%d", opts.Path, i))
+	if opts.Retain > 0 {
+		// Time-partitioned mode: prune expired segments, then index the
+		// survivors, oldest first.
+		j.pruneLocked()
+		for _, seg := range j.segmentsLocked() {
+			j.loadSeen(seg.path)
+		}
+	} else {
+		// Oldest generation first so the live file wins any (impossible,
+		// but cheap to honor) conflicts.
+		for i := opts.Keep; i >= 1; i-- {
+			j.loadSeen(fmt.Sprintf("%s.%d", opts.Path, i))
+		}
 	}
 	j.loadSeen(opts.Path)
 	f, err := os.OpenFile(opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -131,8 +165,80 @@ func NewJournal(opts JournalOptions) (*Journal, error) {
 		return nil, err
 	}
 	j.f, j.size = f, st.Size()
+	j.segOpened = now()
+	if st.Size() > 0 {
+		// Resuming into an existing live file: age it from its last
+		// write, not from this restart, so retention holds across
+		// crash loops.
+		if mt := st.ModTime(); mt.Before(j.segOpened) {
+			j.segOpened = mt
+		}
+	}
 	opts.Health.Set("journal", resil.Healthy)
 	return j, nil
+}
+
+// segmentSpan is how long a live segment may grow before the journal
+// rotates it in retention mode: an eighth of the horizon, clamped to
+// [1min, 24h], so pruning granularity tracks the retention window.
+func (j *Journal) segmentSpan() time.Duration {
+	span := j.opts.Retain / 8
+	if span < time.Minute {
+		span = time.Minute
+	}
+	if span > 24*time.Hour {
+		span = 24 * time.Hour
+	}
+	return span
+}
+
+// journalSegment is one rotated time-partitioned file.
+type journalSegment struct {
+	path string
+	ts   int64 // rotation instant, unix seconds (nanoseconds for collisions)
+}
+
+// segmentsLocked lists the rotated time-partitioned segments, oldest
+// first.
+func (j *Journal) segmentsLocked() []journalSegment {
+	matches, err := filepath.Glob(j.opts.Path + ".*")
+	if err != nil {
+		return nil
+	}
+	var segs []journalSegment
+	for _, m := range matches {
+		suffix := strings.TrimPrefix(m, j.opts.Path+".")
+		ts, err := strconv.ParseInt(suffix, 10, 64)
+		if err != nil || ts <= 0 {
+			continue // .corrupt sidecars, counted generations, tempfiles
+		}
+		segs = append(segs, journalSegment{path: m, ts: ts})
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].ts < segs[b].ts })
+	return segs
+}
+
+// pruneLocked deletes time-partitioned segments older than Retain.
+// A segment's timestamp is its rotation instant — the age of its
+// youngest line — so a segment is deleted only when everything in it
+// has expired.
+func (j *Journal) pruneLocked() {
+	cutoff := j.now().Add(-j.opts.Retain).Unix()
+	for _, seg := range j.segmentsLocked() {
+		ts := seg.ts
+		if ts > 1e15 {
+			ts /= int64(time.Second) // collision fallback wrote nanoseconds
+		}
+		if ts >= cutoff {
+			continue
+		}
+		if err := os.Remove(seg.path); err != nil {
+			j.log.Warn("journal: pruning segment failed", "path", seg.path, "err", err)
+			continue
+		}
+		j.pruned.Inc()
+		j.log.Info("journal: pruned expired segment", "path", seg.path)
+	}
 }
 
 // loadSeen indexes the event IDs of an existing journal file; a
@@ -257,7 +363,11 @@ func (j *Journal) flushPendingLocked() {
 // successful append is logged and degrades health but does not fail
 // the write — retrying would append the line twice.
 func (j *Journal) writeLocked(id string, data []byte) error {
-	if j.opts.MaxBytes > 0 && j.size > 0 && j.size+int64(len(data)) > j.opts.MaxBytes {
+	needRotate := j.opts.MaxBytes > 0 && j.size > 0 && j.size+int64(len(data)) > j.opts.MaxBytes
+	if j.opts.Retain > 0 && j.size > 0 && j.now().Sub(j.segOpened) >= j.segmentSpan() {
+		needRotate = true
+	}
+	if needRotate {
 		j.rotateLocked()
 	}
 	if j.f == nil {
@@ -286,17 +396,32 @@ func (j *Journal) writeLocked(id string, data []byte) error {
 	return nil
 }
 
-// rotateLocked shifts path.i -> path.(i+1), path -> path.1 and reopens
-// a fresh file. The dedup index spans generations, so rotation never
-// forgets an ID.
+// rotateLocked retires the live file and reopens a fresh one. In
+// counted-generation mode it shifts path.i -> path.(i+1),
+// path -> path.1; in retention mode it stamps the file with the
+// rotation instant (path.<unix-seconds>) and prunes expired segments.
+// The in-memory dedup index spans rotations either way, so rotation
+// never forgets an ID while the process lives.
 func (j *Journal) rotateLocked() {
 	j.f.Close()
 	j.f = nil
-	os.Remove(fmt.Sprintf("%s.%d", j.opts.Path, j.opts.Keep))
-	for i := j.opts.Keep - 1; i >= 1; i-- {
-		os.Rename(fmt.Sprintf("%s.%d", j.opts.Path, i), fmt.Sprintf("%s.%d", j.opts.Path, i+1))
+	if j.opts.Retain > 0 {
+		dst := fmt.Sprintf("%s.%d", j.opts.Path, j.now().Unix())
+		if _, err := os.Stat(dst); err == nil {
+			// Two rotations within one second: fall back to nanoseconds.
+			dst = fmt.Sprintf("%s.%d", j.opts.Path, j.now().UnixNano())
+		}
+		if err := os.Rename(j.opts.Path, dst); err != nil {
+			j.log.Warn("journal: segment rotation failed", "err", err)
+		}
+		j.pruneLocked()
+	} else {
+		os.Remove(fmt.Sprintf("%s.%d", j.opts.Path, j.opts.Keep))
+		for i := j.opts.Keep - 1; i >= 1; i-- {
+			os.Rename(fmt.Sprintf("%s.%d", j.opts.Path, i), fmt.Sprintf("%s.%d", j.opts.Path, i+1))
+		}
+		os.Rename(j.opts.Path, j.opts.Path+".1")
 	}
-	os.Rename(j.opts.Path, j.opts.Path+".1")
 	j.reopenLocked()
 }
 
@@ -313,6 +438,7 @@ func (j *Journal) reopenLocked() {
 		size = st.Size()
 	}
 	j.f, j.size = f, size
+	j.segOpened = j.now()
 }
 
 // Pending returns how many events are parked awaiting retry.

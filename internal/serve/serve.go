@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"loopscope/internal/analytics"
 	"loopscope/internal/core"
 	"loopscope/internal/obs"
 	"loopscope/internal/obs/flight"
@@ -71,6 +72,20 @@ type Config struct {
 	// selects the defaults (500ms base doubling to 30s, jittered,
 	// reset after 60s healthy); tests shrink it.
 	RestartPolicy resil.Policy
+	// Analytics, when non-nil, receives every published loop event —
+	// the streaming sketch state behind /api/v1/stats. Nil disables
+	// analytics (every feed point is nil-safe).
+	Analytics *analytics.Collector
+	// AnalyticsSnapshotPath, when set (with Analytics non-nil),
+	// persists the analytics state atomically on every checkpoint tick
+	// and restores it on start, so sketches survive kill -9 the same
+	// way source positions do. The snapshot is written before the
+	// checkpoint: on a crash between the two, the resumed sources
+	// re-emit events the analytics already hold, and the collector's
+	// seen-ID ring (persisted with the snapshot) suppresses them — the
+	// ordering that keeps analytics counts exactly equal to a
+	// fault-free run.
+	AnalyticsSnapshotPath string
 }
 
 // Daemon is the continuous-operation core: sources in, detection in
@@ -162,6 +177,19 @@ func New(cfg Config) (*Daemon, error) {
 			d.health.Set("checkpoint", resil.Degraded)
 		} else {
 			d.cp = cp
+		}
+	}
+	if cfg.AnalyticsSnapshotPath != "" && cfg.Analytics != nil {
+		quarantined, err := cfg.Analytics.Load(cfg.AnalyticsSnapshotPath)
+		switch {
+		case quarantined:
+			// Same policy as a corrupt checkpoint: preserve the image for
+			// post-mortem, start with empty sketches, surface the loss.
+			log.Warn("corrupt analytics snapshot quarantined; starting fresh",
+				"path", cfg.AnalyticsSnapshotPath, "err", err)
+			d.health.Set("analytics", resil.Degraded)
+		case err != nil:
+			return nil, fmt.Errorf("serve: loading analytics snapshot: %w", err)
 		}
 	}
 	if cfg.TrailPath != "" && cfg.Flight != nil {
@@ -323,6 +351,16 @@ func (d *Daemon) checkpoint() error {
 	if err := resil.Inject(d.cfg.FaultInjector, resil.OpCheckpointSave); err != nil {
 		d.health.Set("checkpoint", resil.Failing)
 		return err
+	}
+	// Analytics snapshot first, checkpoint second: see the
+	// AnalyticsSnapshotPath doc for why this ordering makes a crash
+	// between the two harmless.
+	if d.cfg.Analytics != nil && d.cfg.AnalyticsSnapshotPath != "" {
+		if err := d.cfg.Analytics.Save(d.cfg.AnalyticsSnapshotPath); err != nil {
+			d.health.Set("analytics", resil.Failing)
+			return err
+		}
+		d.health.Set("analytics", resil.Healthy)
 	}
 	if err := cp.Save(d.cfg.CheckpointPath); err != nil {
 		d.health.Set("checkpoint", resil.Failing)

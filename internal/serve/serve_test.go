@@ -10,10 +10,12 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
 
+	"loopscope/internal/analytics"
 	"loopscope/internal/core"
 	"loopscope/internal/obs"
 	"loopscope/internal/routing"
@@ -157,14 +159,21 @@ func finalIDSet(t *testing.T, events []Event) map[string]bool {
 func newTestDaemon(t *testing.T, journalPath, cpPath string) *Daemon {
 	t.Helper()
 	obs.VerifyNoLeaks(t)
-	d, err := New(Config{
+	cfg := Config{
 		Detector:           core.DefaultConfig(),
 		CheckpointPath:     cpPath,
 		CheckpointInterval: 10 * time.Millisecond,
 		DrainTimeout:       5 * time.Second,
 		ExitIdle:           250 * time.Millisecond,
 		TailPoll:           2 * time.Millisecond,
-	})
+		Analytics:          analytics.NewCollector(analytics.Options{}),
+	}
+	if cpPath != "" {
+		// The same derivation loopscoped uses, so every checkpointing
+		// daemon test also exercises snapshot save/load.
+		cfg.AnalyticsSnapshotPath = cpPath + ".analytics"
+	}
+	d, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,6 +254,28 @@ func TestDaemonKillRestartEquivalence(t *testing.T) {
 				if !gotFinals[id] {
 					t.Fatalf("final %s missing from resumed journal", id)
 				}
+			}
+
+			// Analytics equivalence: the crash-restarted collector
+			// (snapshot restored, replayed emissions suppressed by the
+			// persisted seen-ID ring) must hold exactly the reference
+			// run's cumulative distributions — same unique-event count,
+			// byte-identical stats document.
+			refIngested, _ := ref.cfg.Analytics.Counts()
+			gotIngested, _ := d2.cfg.Analytics.Counts()
+			if gotIngested != refIngested {
+				t.Fatalf("resumed analytics ingested %d unique events, reference %d", gotIngested, refIngested)
+			}
+			refStats, err := ref.cfg.Analytics.Query(analytics.Query{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotStats, err := d2.cfg.Analytics.Query(analytics.Query{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(refStats, gotStats) {
+				t.Errorf("resumed analytics differ from reference:\n got %+v\nwant %+v", gotStats, refStats)
 			}
 		})
 	}

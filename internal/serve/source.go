@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"loopscope/internal/analytics"
 	"sync"
 	"time"
 
@@ -143,6 +145,10 @@ func (s *sourceState) emit(se core.SessionEvent) {
 			s.d.trailLog.Write(tr)
 		}
 	}
+	// The analytics feed keys on the event ID, so a resume that
+	// re-emits this loop (at-least-once delivery) is suppressed by the
+	// collector's seen-ID ring just as the journal suppresses it.
+	s.d.cfg.Analytics.RecordLoop(s.name, analytics.ObsFromLoop(ev.ID, se.Loop))
 	s.d.publish(ev)
 }
 

@@ -4,9 +4,11 @@ import (
 	"html/template"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"loopscope/internal/analytics"
 	"loopscope/internal/obs"
 	"loopscope/internal/obs/flight"
 )
@@ -49,12 +51,28 @@ th { background: #eee; }
 <table>
 <tr><th>id</th><th>source</th><th>prefix</th><th class=num>streams</th><th class=num>replicas</th><th class=num>duration</th><th>truncated</th></tr>
 {{range .Recent}}<tr>
-<td>{{if $.FlightOn}}<a href="/api/trace/{{.ID}}">{{.ID}}</a>{{else}}{{.ID}}{{end}}</td>
+<td>{{if $.FlightOn}}<a href="/api/v1/trace/{{.ID}}">{{.ID}}</a>{{else}}{{.ID}}{{end}}</td>
 <td>{{.Source}}</td><td>{{.Prefix}}</td>
 <td class=num>{{.Streams}}</td><td class=num>{{.Replicas}}</td>
 <td class=num>{{.Duration}}</td><td>{{if .Truncated}}yes{{end}}</td>
 </tr>{{end}}
 </table>
+
+{{if .Analytics}}<h2>analytics (all time, &alpha;={{.SketchAlpha}})</h2>
+<table>
+<tr><th>metric</th><th class=num>count</th><th class=num>p50</th><th class=num>p90</th><th class=num>p99</th><th>distribution</th></tr>
+{{range .Analytics}}<tr>
+<td>{{.Metric}}</td><td class=num>{{.Count}}</td>
+<td class=num>{{.P50}}</td><td class=num>{{.P90}}</td><td class=num>{{.P99}}</td>
+<td>{{.Spark}}</td>
+</tr>{{end}}
+</table>
+{{if .TopPrefixes}}<h2>top looping prefixes</h2>
+<table>
+<tr><th>prefix</th><th class=num>loops</th><th class=num>&plusmn;err</th></tr>
+{{range .TopPrefixes}}<tr><td>{{.Key}}</td><td class=num>{{.Count}}</td><td class=num>{{.Err}}</td></tr>{{end}}
+</table>{{end}}
+{{end}}
 
 {{if .FlightOn}}<h2>flight recorder</h2>
 <p>{{.Flight.Events}} events recorded &middot; {{.Flight.Sealed}} trails sealed &middot; {{.Flight.Trails}} retained ({{.Flight.Evicted}} evicted) &middot; {{.Flight.Shards}} shards</p>
@@ -87,6 +105,71 @@ type statuszHealth struct {
 	State     string
 }
 
+// statuszAnalyticsRow is one metric's sparkline-table row.
+type statuszAnalyticsRow struct {
+	Metric        string
+	Count         uint64
+	P50, P90, P99 string
+	Spark         string
+}
+
+// sparkRunes render a histogram as a one-line sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// spark scales bucket counts into sparkline runes (empty input: "").
+func spark(counts []uint64) string {
+	var max uint64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return ""
+	}
+	out := make([]rune, len(counts))
+	for i, c := range counts {
+		lvl := int(c * uint64(len(sparkRunes)-1) / max)
+		out[i] = sparkRunes[lvl]
+	}
+	return string(out)
+}
+
+// statuszQuantile formats a quantile for the analytics table:
+// nanosecond metrics as durations, counts as integers.
+func statuszQuantile(metric string, v int64) string {
+	switch metric {
+	case analytics.MetricDuration, analytics.MetricEscapeDelay:
+		return time.Duration(v).Round(time.Microsecond).String()
+	default:
+		return strconv.FormatInt(v, 10)
+	}
+}
+
+// analyticsRows renders the cumulative analytics view for statusz.
+func analyticsRows(st *analytics.Stats) []statuszAnalyticsRow {
+	rows := make([]statuszAnalyticsRow, 0, len(analytics.Metrics))
+	for _, name := range analytics.Metrics {
+		ms, ok := st.Metrics[name]
+		if !ok {
+			continue
+		}
+		counts := make([]uint64, len(ms.Buckets))
+		for i, b := range ms.Buckets {
+			counts[i] = b.Count
+		}
+		rows = append(rows, statuszAnalyticsRow{
+			Metric: name,
+			Count:  ms.Count,
+			P50:    statuszQuantile(name, ms.Quantiles["p50"]),
+			P90:    statuszQuantile(name, ms.Quantiles["p90"]),
+			P99:    statuszQuantile(name, ms.Quantiles["p99"]),
+			Spark:  spark(counts),
+		})
+	}
+	return rows
+}
+
 // handleStatusz renders the status page.
 func (d *Daemon) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	infos := make([]SourceInfo, 0, len(d.sources))
@@ -117,6 +200,9 @@ func (d *Daemon) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		Flight        flight.Stats
 		LogCounts     []statuszLogCount
 		Health        []statuszHealth
+		Analytics     []statuszAnalyticsRow
+		TopPrefixes   []analytics.TopKItem
+		SketchAlpha   float64
 	}{
 		Uptime:    time.Since(d.started).Round(time.Second),
 		Events:    d.ring.Total(),
@@ -124,6 +210,16 @@ func (d *Daemon) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		Sources:   infos,
 		Recent:    recent,
 		FlightOn:  d.cfg.Flight != nil,
+	}
+	if a := d.cfg.Analytics; a != nil {
+		if st, err := a.Query(analytics.Query{}); err == nil {
+			data.Analytics = analyticsRows(st)
+			data.TopPrefixes = st.TopPrefixes
+			if len(data.TopPrefixes) > 10 {
+				data.TopPrefixes = data.TopPrefixes[:10]
+			}
+			data.SketchAlpha = st.ErrorBound
+		}
 	}
 	if ns := d.cpLastNs.Load(); ns > 0 {
 		data.HasCheckpoint = true

@@ -1,0 +1,326 @@
+// Package loopscope is a typed Go client for the loopscoped daemon's
+// versioned HTTP API (/api/v1).
+//
+// Every v1 response arrives in one envelope — {"data": …, "meta":
+// {"api":"v1", …}} on success, {"error": {"code","message"}} on
+// failure — and the client owns that protocol: it unwraps the
+// envelope, turns error objects into *APIError values carrying the
+// HTTP status and machine-readable code, and hands back plain Go
+// structs. The wire types here are deliberate mirrors of the daemon's
+// JSON, not imports of its internals, so the client pins the public
+// contract: if the daemon's encoding drifts, the round-trip tests
+// that use this client fail.
+package loopscope
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Client talks to one loopscoped daemon. The zero value is not
+// usable; construct with New.
+type Client struct {
+	base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:9090"). Any trailing slash is trimmed.
+func New(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/")}
+}
+
+// Meta is the envelope metadata accompanying every v1 success
+// response.
+type Meta struct {
+	API string `json:"api"`
+	// Total is the all-time event count behind a paginated listing.
+	Total *int64 `json:"total,omitempty"`
+	// NextCursor, when present, fetches the next (older) page.
+	NextCursor *int64 `json:"nextCursor,omitempty"`
+}
+
+// APIError is a v1 error object plus the HTTP status it arrived
+// with. Code is one of the daemon's stable error codes ("bad_param",
+// "not_found", "disabled").
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("loopscope: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Health mirrors GET /api/v1/health.
+type Health struct {
+	Status  string `json:"status"`
+	UptimeS int64  `json:"uptimeS"`
+	Sources int    `json:"sources"`
+	Records int64  `json:"records"`
+	Events  int64  `json:"events"`
+	// Health names each degraded or failing component; absent while
+	// everything is healthy.
+	Health map[string]string `json:"health,omitempty"`
+}
+
+// Event mirrors one published loop event.
+type Event struct {
+	ID          string `json:"id"`
+	Source      string `json:"source"`
+	Link        string `json:"link,omitempty"`
+	Prefix      string `json:"prefix"`
+	Seq         int    `json:"seq"`
+	StartNs     int64  `json:"startNs"`
+	EndNs       int64  `json:"endNs"`
+	DurationNs  int64  `json:"durationNs"`
+	Streams     int    `json:"streams"`
+	Replicas    int    `json:"replicas"`
+	TTLDelta    int    `json:"ttlDelta"`
+	Escaped     int    `json:"escaped,omitempty"`
+	Truncated   bool   `json:"truncated,omitempty"`
+	EmittedAtNs int64  `json:"emittedAtNs"`
+}
+
+// LoopEvent is one row of GET /api/v1/loops: the event plus its ring
+// sequence number, the cursor coordinate for pagination.
+type LoopEvent struct {
+	Seq   int64 `json:"seq"`
+	Event Event `json:"event"`
+}
+
+// LoopPage is one page of GET /api/v1/loops, newest first.
+type LoopPage struct {
+	Events []LoopEvent
+	// Total is the all-time published event count.
+	Total int64
+	// NextCursor fetches the next (older) page; zero when this page
+	// exhausted the ring.
+	NextCursor int64
+}
+
+// LoopsQuery selects a page of GET /api/v1/loops. Zero values mean
+// the server defaults: limit 100, newest page, all sources.
+type LoopsQuery struct {
+	Limit  int
+	Cursor int64
+	Source string
+}
+
+// Source mirrors one entry of GET /api/v1/sources.
+type Source struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Path        string `json:"path,omitempty"`
+	Status      string `json:"status"`
+	Link        string `json:"link,omitempty"`
+	Records     int64  `json:"records"`
+	Emitted     int    `json:"emitted"`
+	LagBytes    int64  `json:"lagBytes"`
+	Segment     int    `json:"segment,omitempty"`
+	Segments    int    `json:"segments,omitempty"`
+	LagSegments int64  `json:"lagSegments,omitempty"`
+	Restarts    int64  `json:"restarts"`
+	LastErr     string `json:"lastError,omitempty"`
+}
+
+// Bucket is one log-scale histogram bucket of a stats metric.
+type Bucket struct {
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// TopPrefix is one entry of a stats document's top looping prefixes.
+// Count overestimates the true count by at most Err.
+type TopPrefix struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err,omitempty"`
+}
+
+// MetricStats mirrors one metric block of GET /api/v1/stats.
+type MetricStats struct {
+	Metric    string           `json:"metric"`
+	Kind      string           `json:"kind"`
+	Count     uint64           `json:"count"`
+	Mean      float64          `json:"mean"`
+	Min       int64            `json:"min"`
+	Max       int64            `json:"max"`
+	Quantiles map[string]int64 `json:"quantiles"`
+	Buckets   []Bucket         `json:"buckets"`
+}
+
+// Stats mirrors GET /api/v1/stats.
+type Stats struct {
+	Window      string                 `json:"window"`
+	Source      string                 `json:"source,omitempty"`
+	Loops       uint64                 `json:"loops"`
+	ErrorBound  float64                `json:"errorBound"`
+	Metrics     map[string]MetricStats `json:"metrics"`
+	TopPrefixes []TopPrefix            `json:"topPrefixes"`
+}
+
+// StatsQuery selects a stats document. Zero values mean the
+// cumulative window over all sources with every metric.
+type StatsQuery struct {
+	Window string
+	Source string
+	Metric string
+}
+
+// Health fetches GET /api/v1/health.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if _, err := c.get(ctx, "/api/v1/health", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Loops fetches one page of GET /api/v1/loops. Walk the full ring by
+// following NextCursor until it is zero.
+func (c *Client) Loops(ctx context.Context, q LoopsQuery) (*LoopPage, error) {
+	vals := url.Values{}
+	if q.Limit > 0 {
+		vals.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.Cursor > 0 {
+		vals.Set("cursor", strconv.FormatInt(q.Cursor, 10))
+	}
+	if q.Source != "" {
+		vals.Set("source", q.Source)
+	}
+	var body struct {
+		Events []LoopEvent `json:"events"`
+	}
+	meta, err := c.get(ctx, "/api/v1/loops", vals, &body)
+	if err != nil {
+		return nil, err
+	}
+	page := &LoopPage{Events: body.Events}
+	if meta.Total != nil {
+		page.Total = *meta.Total
+	}
+	if meta.NextCursor != nil {
+		page.NextCursor = *meta.NextCursor
+	}
+	return page, nil
+}
+
+// Sources fetches GET /api/v1/sources, sorted by name.
+func (c *Client) Sources(ctx context.Context) ([]Source, error) {
+	var body struct {
+		Sources []Source `json:"sources"`
+	}
+	if _, err := c.get(ctx, "/api/v1/sources", nil, &body); err != nil {
+		return nil, err
+	}
+	return body.Sources, nil
+}
+
+// Stats fetches GET /api/v1/stats for the given window, source, and
+// metric selection.
+func (c *Client) Stats(ctx context.Context, q StatsQuery) (*Stats, error) {
+	vals := url.Values{}
+	if q.Window != "" {
+		vals.Set("window", q.Window)
+	}
+	if q.Source != "" {
+		vals.Set("source", q.Source)
+	}
+	if q.Metric != "" {
+		vals.Set("metric", q.Metric)
+	}
+	var st Stats
+	if _, err := c.get(ctx, "/api/v1/stats", vals, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// TraceIDs fetches the sealed trail index, GET /api/v1/trace.
+func (c *Client) TraceIDs(ctx context.Context) ([]string, error) {
+	var body struct {
+		Trails []string `json:"trails"`
+	}
+	if _, err := c.get(ctx, "/api/v1/trace", nil, &body); err != nil {
+		return nil, err
+	}
+	return body.Trails, nil
+}
+
+// Trace fetches one sealed decision trail, GET /api/v1/trace/{id}.
+// The trail schema is owned by the daemon's flight recorder and
+// evolves with it, so the client passes the document through verbatim.
+func (c *Client) Trace(ctx context.Context, id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if _, err := c.get(ctx, "/api/v1/trace/"+url.PathEscape(id), nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// get performs one v1 request: non-2xx responses decode into
+// *APIError, successes unwrap the envelope into data (which may be a
+// *json.RawMessage to skip typing) and return its meta block.
+func (c *Client) get(ctx context.Context, path string, vals url.Values, data any) (Meta, error) {
+	u := c.base + path
+	if len(vals) > 0 {
+		u += "?" + vals.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return Meta{}, err
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return Meta{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return Meta{}, fmt.Errorf("loopscope: reading %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(body, &eb) == nil && eb.Error.Code != "" {
+			return Meta{}, &APIError{Status: resp.StatusCode, Code: eb.Error.Code, Message: eb.Error.Message}
+		}
+		return Meta{}, &APIError{Status: resp.StatusCode, Code: "http_error",
+			Message: strings.TrimSpace(string(body))}
+	}
+	var env struct {
+		Data json.RawMessage `json:"data"`
+		Meta Meta            `json:"meta"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		return Meta{}, fmt.Errorf("loopscope: decoding %s envelope: %w", path, err)
+	}
+	if env.Meta.API != "v1" {
+		return Meta{}, fmt.Errorf("loopscope: %s answered api %q, want v1", path, env.Meta.API)
+	}
+	if data != nil {
+		if err := json.Unmarshal(env.Data, data); err != nil {
+			return Meta{}, fmt.Errorf("loopscope: decoding %s data: %w", path, err)
+		}
+	}
+	return env.Meta, nil
+}

@@ -16,7 +16,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go build -o "$work/bin/" ./cmd/loopscoped ./cmd/tracegen
+go build -o "$work/bin/" ./cmd/loopscoped ./cmd/tracegen ./cmd/lsq
 
 # The same seed makes tracegen emit byte-identical records, so the
 # reference file and the grown file carry the same ground truth.
@@ -89,7 +89,7 @@ fi
 
 "$work/bin/loopscoped" -tail "trace=$work/ref.lspt" -journal "$work/api.jsonl" \
     -poll 25ms -checkpoint-interval 100ms -merge-window 2s -exit-idle 60s \
-    -http 127.0.0.1:0 -trail-journal "$work/trails.jsonl" 2>"$work/api.log" &
+    -retain 1h -http 127.0.0.1:0 -trail-journal "$work/trails.jsonl" 2>"$work/api.log" &
 apid=$!
 api_cleanup() { kill "$apid" 2>/dev/null || true; wait "$apid" 2>/dev/null || true; }
 
@@ -120,17 +120,69 @@ if [ -z "$fid" ]; then
     exit 1
 fi
 
-if ! fetch "${url}statusz" | grep -q "loopscoped"; then
+# Capture bodies before grepping: under pipefail, `fetch | grep -q`
+# fails spuriously when grep exits at the first match and the fetcher
+# takes a SIGPIPE mid-body.
+fetch "${url}statusz" > "$work/statusz.html"
+if ! grep -q "loopscoped" "$work/statusz.html"; then
     echo "FAIL: /statusz did not return the status page" >&2
     api_cleanup
     exit 1
 fi
-if ! fetch "${url}api/trace/$fid" | grep -q "\"id\": \"$fid\""; then
+fetch "${url}api/trace/$fid" > "$work/trail.json"
+if ! grep -q "\"id\": \"$fid\"" "$work/trail.json"; then
     echo "FAIL: /api/trace/$fid did not return the sealed trail" >&2
     fetch "${url}api/trace/" >&2 || true
     api_cleanup
     exit 1
 fi
+echo "== /api/v1 run: typed client, stats, pagination, deprecation headers"
+# The typed client (via lsq) round-trips the versioned surface.
+"$work/bin/lsq" -addr "$url" health > "$work/v1-health.json"
+if ! grep -q '"status": "ok"' "$work/v1-health.json"; then
+    echo "FAIL: lsq health did not report status ok" >&2
+    cat "$work/v1-health.json" >&2
+    api_cleanup
+    exit 1
+fi
+"$work/bin/lsq" -addr "$url" stats > "$work/v1-stats.json"
+stat_loops="$(sed -n 's/.*"loops": \([0-9]*\),*/\1/p' "$work/v1-stats.json" | head -n1)"
+if [ -z "$stat_loops" ] || [ "$stat_loops" -lt 1 ]; then
+    echo "FAIL: /api/v1/stats reported no analytics loops" >&2
+    cat "$work/v1-stats.json" >&2
+    api_cleanup
+    exit 1
+fi
+if ! grep -q '"p50"' "$work/v1-stats.json"; then
+    echo "FAIL: /api/v1/stats carries no quantiles" >&2
+    cat "$work/v1-stats.json" >&2
+    api_cleanup
+    exit 1
+fi
+# Pagination: a cursor walk at page size 1 must visit exactly the
+# events one max-size page returns.
+one_page="$("$work/bin/lsq" -addr "$url" loops -limit 1000 | grep -c '"id"')" || one_page=0
+walked="$("$work/bin/lsq" -addr "$url" loops -limit 1 -walk | grep -c '"id"')" || walked=0
+if [ "$one_page" -lt 1 ] || [ "$one_page" != "$walked" ]; then
+    echo "FAIL: cursor walk visited $walked events, single page holds $one_page" >&2
+    api_cleanup
+    exit 1
+fi
+# Every pre-v1 endpoint still answers, marked deprecated.
+if command -v curl >/dev/null 2>&1; then
+    for legacy in healthz api/loops api/sources api/trace/ statusz; do
+        if ! curl -fsS -D - -o /dev/null "${url}${legacy}" | grep -qi '^deprecation: true'; then
+            echo "FAIL: legacy /$legacy missing the Deprecation header" >&2
+            api_cleanup
+            exit 1
+        fi
+    done
+    dep_note="deprecation headers on all 5 legacy endpoints"
+else
+    dep_note="deprecation headers skipped (no curl)"
+fi
+echo "OK: /api/v1 round-trip via lsq ($stat_loops analytics loops, $walked events paginated, $dep_note)"
+
 kill "$apid"
 wait "$apid" 2>/dev/null || true
 if ! grep -q "$fid" "$work/trails.jsonl"; then
