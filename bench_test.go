@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"loopscope/internal/agg"
 	"loopscope/internal/analysis"
 	"loopscope/internal/analytics"
 	"loopscope/internal/baseline"
@@ -30,6 +31,7 @@ import (
 	"loopscope/internal/stats"
 	"loopscope/internal/trace"
 	"loopscope/internal/traffic"
+	"loopscope/pkg/loopscope"
 )
 
 type bbRun struct {
@@ -653,6 +655,83 @@ func BenchmarkAnalyticsIngest(b *testing.B) {
 				ingested, _ := c.Counts()
 				b.ReportMetric(float64(ingested)/float64(b.N), "analytics_loops/op")
 				_ = loops
+			}
+		})
+	}
+}
+
+// BenchmarkAggIngest measures the fleet aggregator's observation path
+// (journal-less, so the numbers isolate correlation + dedup + stats,
+// not disk). mode=fresh ingests never-seen events: seen-set insert,
+// cluster scan/join across ~1k live clusters, per-vantage analytics
+// reduction. mode=duplicate replays an already-absorbed batch — the
+// at-least-once redelivery path every webhook retry and poll overlap
+// takes, which must stay a cheap seen-set hit. CI extracts both into
+// BENCH_agg.json (cmd/benchjson -mode agg) and fails when the
+// duplicate path costs more than the fresh path plus the shared
+// regression budget.
+func BenchmarkAggIngest(b *testing.B) {
+	const batch = 1024
+	mkObs := func(round, i int) agg.Observation {
+		vantage := fmt.Sprintf("bb%d", i%8)
+		start := int64(i) * int64(time.Minute)
+		return agg.Observation{Vantage: vantage, Transport: agg.TransportPush,
+			Event: loopscope.Event{
+				ID:         fmt.Sprintf("e%d-%d", round, i),
+				Source:     "bench-tap",
+				Vantage:    vantage,
+				Prefix:     fmt.Sprintf("10.%d.%d.0/24", i/256%256, i%256),
+				StartNs:    start,
+				EndNs:      start + int64(30*time.Second),
+				DurationNs: int64(30 * time.Second),
+				Streams:    2,
+				Replicas:   12,
+				TTLDelta:   2 + i%5,
+			}}
+	}
+	for _, mode := range []string{"fresh", "duplicate"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			b.ReportAllocs()
+			now := time.Unix(1_700_000_000, 0)
+			a, err := agg.New(agg.Config{Now: func() time.Time { return now }})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer a.Close()
+			if mode == "duplicate" {
+				for i := 0; i < batch; i++ {
+					if _, err := a.Ingest(mkObs(0, i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				// Fresh rounds mint new event IDs but repeat the same
+				// prefixes and windows, so observations join existing
+				// clusters instead of growing the cluster table
+				// unboundedly; the duplicate round replays round 0.
+				round := 0
+				if mode == "fresh" {
+					round = n + 1
+				}
+				for i := 0; i < batch; i++ {
+					accepted, err := a.Ingest(mkObs(round, i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if want := mode == "fresh"; accepted != want {
+						b.Fatalf("Ingest accepted = %v in mode %s", accepted, mode)
+					}
+				}
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "obs/s")
+			if mode == "fresh" {
+				observations, _, fleetLoops, _ := a.Counts()
+				if observations != int64(batch)*int64(b.N) {
+					b.Fatalf("aggregator absorbed %d observations, want %d", observations, int64(batch)*int64(b.N))
+				}
+				b.ReportMetric(float64(fleetLoops), "fleet_loops")
 			}
 		})
 	}

@@ -18,6 +18,15 @@
 //	    go test -run '^$' -bench ObsOverhead -benchtime 5x . |
 //	        benchjson -mode obs -max-regress 5 -out BENCH_obs.json
 //
+//	-mode agg: compare BenchmarkAggIngest's mode=fresh and
+//	mode=duplicate results and fail when the duplicate (redelivery)
+//	path costs more than the fresh path plus -max-regress percent —
+//	the guard that keeps webhook retries and poll overlaps a cheap
+//	seen-set hit instead of a second full correlation pass.
+//
+//	    go test -run '^$' -bench AggIngest -benchtime 50x . |
+//	        benchjson -mode agg -max-regress 5 -out BENCH_agg.json
+//
 // Anything else on stdin is ignored, so the tool can consume the raw
 // `go test` stream.
 package main
@@ -64,6 +73,12 @@ var flightLine = regexp.MustCompile(
 var analyticsLine = regexp.MustCompile(
 	`^BenchmarkAnalyticsIngest/mode=(\w+)\S*\s+\d+\s+([\d.]+) ns/op(.*)`)
 
+// aggLine matches one fleet-aggregator ingest result, e.g.
+//
+//	BenchmarkAggIngest/mode=fresh-8  50  4383682 ns/op  1024 fleet_loops  233609 obs/s
+var aggLine = regexp.MustCompile(
+	`^BenchmarkAggIngest/mode=(\w+)\S*\s+\d+\s+([\d.]+) ns/op(.*)`)
+
 // metricPair matches the trailing "value unit" metrics go test appends
 // (records/s, B/op, allocs/op, stage_<name>_ns, ...).
 var metricPair = regexp.MustCompile(`([\d.e+]+) ([\w/_-]+)`)
@@ -106,9 +121,9 @@ type analyticsReport struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output JSON file (default BENCH_parallel.json or BENCH_obs.json by mode)")
-	mode := flag.String("mode", "parallel", "what to extract: parallel (worker-count sweep) or obs (instrumentation-overhead comparison)")
-	maxRegress := flag.Float64("max-regress", 5, "obs mode: fail when the instrumented run is more than this percent slower than no-op (< 0: never fail)")
+	out := flag.String("out", "", "output JSON file (default BENCH_parallel.json, BENCH_obs.json or BENCH_agg.json by mode)")
+	mode := flag.String("mode", "parallel", "what to extract: parallel (worker-count sweep), obs (instrumentation-overhead comparison) or agg (fleet-ingest duplicate-path comparison)")
+	maxRegress := flag.Float64("max-regress", 5, "obs/agg modes: fail when the instrumented (or duplicate) run is more than this percent slower than its baseline (< 0: never fail)")
 	flag.Parse()
 	switch *mode {
 	case "parallel":
@@ -121,6 +136,11 @@ func main() {
 			*out = "BENCH_obs.json"
 		}
 		mainObs(*out, *maxRegress)
+	case "agg":
+		if *out == "" {
+			*out = "BENCH_agg.json"
+		}
+		mainAgg(*out, *maxRegress)
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown -mode %q\n", *mode)
 		os.Exit(2)
@@ -174,6 +194,69 @@ func mainObs(out string, maxRegress float64) {
 			rep.Analytics.RegressPct, maxRegress)
 		os.Exit(1)
 	}
+}
+
+// aggReport is BENCH_agg.json: the fresh/duplicate ingest comparison.
+// RegressPct is how much more the duplicate (redelivery) path costs
+// than the fresh path, in percent; it is normally strongly negative —
+// a duplicate is a seen-set lookup, not a correlation pass — and the
+// guard fails when it climbs above the budget.
+type aggReport struct {
+	FreshNsPerOp     float64            `json:"freshNsPerOp"`
+	DuplicateNsPerOp float64            `json:"duplicateNsPerOp"`
+	RegressPct       float64            `json:"regressPct"`
+	Fresh            map[string]float64 `json:"fresh"`
+	Duplicate        map[string]float64 `json:"duplicate"`
+}
+
+func mainAgg(out string, maxRegress float64) {
+	rep, err := parseAgg(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	// Write the report before deciding pass/fail, so the artifact
+	// survives a failed guard for post-mortem.
+	writeJSON(out, rep)
+	fmt.Printf("agg ingest: fresh %.0f ns/op, duplicate %.0f ns/op: %+.2f%%\n",
+		rep.FreshNsPerOp, rep.DuplicateNsPerOp, rep.RegressPct)
+	if maxRegress >= 0 && rep.RegressPct > maxRegress {
+		fmt.Fprintf(os.Stderr, "benchjson: duplicate-ingest path is %.2f%% slower than fresh, over the %.2f%% budget\n",
+			rep.RegressPct, maxRegress)
+		os.Exit(1)
+	}
+}
+
+// parseAgg extracts both BenchmarkAggIngest modes and computes the
+// duplicate-path overhead relative to fresh ingestion.
+func parseAgg(r io.Reader) (*aggReport, error) {
+	rep := &aggReport{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		m := aggLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		nsPerOp, metrics, err := parseBenchResult(line, m)
+		if err != nil {
+			return nil, err
+		}
+		switch m[1] {
+		case "fresh":
+			rep.FreshNsPerOp, rep.Fresh = nsPerOp, metrics
+		case "duplicate":
+			rep.DuplicateNsPerOp, rep.Duplicate = nsPerOp, metrics
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rep.Fresh == nil || rep.Duplicate == nil {
+		return nil, fmt.Errorf("need both BenchmarkAggIngest modes on stdin (fresh: %v, duplicate: %v)",
+			rep.Fresh != nil, rep.Duplicate != nil)
+	}
+	rep.RegressPct = 100 * (rep.DuplicateNsPerOp - rep.FreshNsPerOp) / rep.FreshNsPerOp
+	return rep, nil
 }
 
 func fatal(err error) {

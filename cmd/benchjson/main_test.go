@@ -172,3 +172,31 @@ BenchmarkAnalyticsIngest/mode=ingesting-8 1 2040000000 ns/op
 		t.Fatal("one-sided analytics input accepted; the comparison needs both modes")
 	}
 }
+
+func TestParseAgg(t *testing.T) {
+	out := `goos: linux
+BenchmarkAggIngest/mode=fresh-8     	      50	 4383682 ns/op	      1024 fleet_loops	    233609 obs/s	  931207 B/op	   14294 allocs/op
+BenchmarkAggIngest/mode=duplicate-8 	      50	  721040 ns/op	   1420333 obs/s	  128993 B/op	    7936 allocs/op
+PASS
+`
+	rep, err := parseAgg(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FreshNsPerOp != 4383682 || rep.DuplicateNsPerOp != 721040 {
+		t.Errorf("ns/op = %v / %v", rep.FreshNsPerOp, rep.DuplicateNsPerOp)
+	}
+	if rep.RegressPct >= 0 {
+		t.Errorf("regressPct = %v, want negative (duplicates are cheaper)", rep.RegressPct)
+	}
+	if rep.Fresh["fleet_loops"] != 1024 || rep.Duplicate["obs/s"] != 1420333 {
+		t.Errorf("metrics: fresh=%v duplicate=%v", rep.Fresh, rep.Duplicate)
+	}
+}
+
+func TestParseAggMissingMode(t *testing.T) {
+	out := "BenchmarkAggIngest/mode=fresh-8 1 4000000 ns/op\nPASS\n"
+	if _, err := parseAgg(strings.NewReader(out)); err == nil {
+		t.Fatal("one-sided input accepted; the comparison needs both modes")
+	}
+}

@@ -103,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ringSize     = fs.Int("ring", 1024, "recent events kept in memory for /api/loops")
 		fsyncMode    = fs.String("fsync", "off", "journal/trail flush policy: off (OS-buffered) or always (fsync per event)")
 		maxStreams   = fs.Int("max-streams", 65536, "memory governor: live replica streams per source before cold ones are shed (0: unlimited)")
+		vantage      = fs.String("vantage", "", "stable identity of this daemon in a fleet, stamped into events and API meta (default: hostname)")
 
 		logLevel     = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat    = fs.String("log-format", "text", "log output format: text or json")
@@ -160,6 +161,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// The vantage identity must be stable across restarts (it is part
+	// of how the aggregator attributes and dedups observations), so
+	// the default is the hostname, not anything ephemeral.
+	if *vantage == "" {
+		if host, err := os.Hostname(); err == nil {
+			*vantage = host
+		}
+	}
+
 	// Analytics are always on: the collector is cheap (a few sketch
 	// increments per finalized loop) and /api/v1/stats answering 404
 	// on a stock build would be a trap. Only persistence is optional.
@@ -183,6 +193,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	d, err := serve.New(serve.Config{
+		Vantage: *vantage,
 		Detector: core.Config{
 			MinReplicas:      *minReplicas,
 			MinTTLDelta:      *minDelta,

@@ -11,6 +11,13 @@
 //	lsq -addr … sources
 //	lsq -addr … stats [-window 1h] [-source s] [-metric duration]
 //	lsq -addr … trace [id]
+//
+// Pointed at a loopscope-agg aggregator instead, the fleet family
+// queries the cluster-level view:
+//
+//	lsq -addr … fleet loops [-limit n] [-prefix p]
+//	lsq -addr … fleet vantages
+//	lsq -addr … fleet stats [-window 1h] [-vantage v] [-metric duration]
 package main
 
 import (
@@ -28,7 +35,7 @@ func main() {
 	addr := flag.String("addr", "http://127.0.0.1:9090", "base URL of the loopscoped HTTP API")
 	timeout := flag.Duration("timeout", 10*time.Second, "request timeout")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: lsq [-addr URL] <health|loops|sources|stats|trace> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: lsq [-addr URL] <health|loops|sources|stats|trace|fleet> [flags]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,6 +66,8 @@ func main() {
 		} else {
 			out, err = c.TraceIDs(ctx)
 		}
+	case "fleet":
+		out, err = runFleet(ctx, c, args)
 	default:
 		fmt.Fprintf(os.Stderr, "lsq: unknown command %q\n", cmd)
 		flag.Usage()
@@ -107,6 +116,40 @@ func runLoops(ctx context.Context, c *loopscope.Client, args []string) (any, err
 			return out, nil
 		}
 		q.Cursor = page.NextCursor
+	}
+}
+
+// runFleet dispatches the fleet subcommands against an aggregator.
+func runFleet(ctx context.Context, c *loopscope.Client, args []string) (any, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("usage: lsq fleet <loops|vantages|stats> [flags]")
+	}
+	switch sub, rest := args[0], args[1:]; sub {
+	case "loops":
+		fs := flag.NewFlagSet("fleet loops", flag.ExitOnError)
+		limit := fs.Int("limit", 0, "keep only the newest n fleet loops")
+		prefix := fs.String("prefix", "", "only loops for this destination prefix")
+		fs.Parse(rest)
+		loops, err := c.FleetLoops(ctx, loopscope.FleetLoopsQuery{Limit: *limit, Prefix: *prefix})
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"loops": loops}, nil
+	case "vantages":
+		vs, err := c.FleetVantages(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"vantages": vs}, nil
+	case "stats":
+		fs := flag.NewFlagSet("fleet stats", flag.ExitOnError)
+		window := fs.String("window", "", "time window (e.g. 5m, 1h; empty = all)")
+		vantage := fs.String("vantage", "", "only loops reported by this vantage")
+		metric := fs.String("metric", "", "single metric (duration, ttl_delta, streams, replicas, escape_delay)")
+		fs.Parse(rest)
+		return c.FleetStats(ctx, loopscope.FleetStatsQuery{Window: *window, Vantage: *vantage, Metric: *metric})
+	default:
+		return nil, fmt.Errorf("unknown fleet subcommand %q (want loops, vantages or stats)", sub)
 	}
 }
 

@@ -1,0 +1,350 @@
+package agg
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"loopscope/internal/analytics"
+	"loopscope/pkg/loopscope"
+)
+
+// pinnedNow returns a frozen clock so window placement, arrival
+// stamps, and stats documents are reproducible.
+func pinnedNow() func() time.Time {
+	base := time.Unix(1_700_000_000, 0)
+	return func() time.Time { return base }
+}
+
+// mkEvent builds a loop event as a vantage's daemon would publish it.
+func mkEvent(vantage, source, prefix, id string, startNs, endNs int64, ttlDelta int) loopscope.Event {
+	return loopscope.Event{
+		ID:          id,
+		Source:      source,
+		Vantage:     vantage,
+		Prefix:      prefix,
+		StartNs:     startNs,
+		EndNs:       endNs,
+		DurationNs:  endNs - startNs,
+		Streams:     2,
+		Replicas:    10,
+		TTLDelta:    ttlDelta,
+		EmittedAtNs: endNs,
+	}
+}
+
+func obs1(vantage, prefix, id string, startNs, endNs int64, ttlDelta int) Observation {
+	return Observation{Vantage: vantage, Transport: TransportPush,
+		Event: mkEvent(vantage, "tap", prefix, id, startNs, endNs, ttlDelta)}
+}
+
+func newTestAgg(t *testing.T, cfg Config) *Aggregator {
+	t.Helper()
+	if cfg.Now == nil {
+		cfg.Now = pinnedNow()
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+// sec converts seconds on the trace clock to nanoseconds.
+func sec(s int64) int64 { return s * int64(time.Second) }
+
+// Three vantages observing one loop (same /24, same TTL delta,
+// overlapping windows) must collapse into a single fleet loop with
+// all three attributions, and redelivery must be suppressed.
+func TestCrossVantageDedup(t *testing.T) {
+	a := newTestAgg(t, Config{})
+	observations := []Observation{
+		obs1("bb1", "10.1.2.0/24", "e1", sec(10), sec(40), 3),
+		obs1("bb2", "10.1.2.0/24", "e2", sec(12), sec(41), 3),
+		obs1("bb3", "10.1.2.0/24", "e3", sec(9), sec(38), 3),
+	}
+	for _, o := range observations {
+		accepted, err := a.Ingest(o)
+		if err != nil || !accepted {
+			t.Fatalf("Ingest(%s) = %v, %v; want accepted", o.Vantage, accepted, err)
+		}
+	}
+	// Redeliver each observation once (the at-least-once transports do).
+	for _, o := range observations {
+		accepted, err := a.Ingest(o)
+		if err != nil || accepted {
+			t.Fatalf("redelivered Ingest(%s) = %v, %v; want duplicate", o.Vantage, accepted, err)
+		}
+	}
+	loops := a.FleetLoops()
+	if len(loops) != 1 {
+		t.Fatalf("FleetLoops: got %d clusters, want 1: %+v", len(loops), loops)
+	}
+	fl := loops[0]
+	if want := []string{"bb1", "bb2", "bb3"}; !reflect.DeepEqual(fl.Vantages, want) {
+		t.Errorf("vantages = %v, want %v", fl.Vantages, want)
+	}
+	if fl.Observations != 3 || len(fl.Evidence) != 3 {
+		t.Errorf("observations = %d, evidence = %d, want 3/3", fl.Observations, len(fl.Evidence))
+	}
+	if fl.StartNs != sec(9) || fl.EndNs != sec(41) {
+		t.Errorf("window = [%d, %d], want union [%d, %d]", fl.StartNs, fl.EndNs, sec(9), sec(41))
+	}
+	if fl.Prefix != "10.1.2.0/24" || fl.TTLDelta != 3 {
+		t.Errorf("key = %s/%d, want 10.1.2.0/24 delta 3", fl.Prefix, fl.TTLDelta)
+	}
+}
+
+// Observations that differ in aggregated prefix, TTL delta, or
+// disjoint-in-time windows stay separate clusters.
+func TestDistinctLoopsStaySeparate(t *testing.T) {
+	a := newTestAgg(t, Config{})
+	for _, o := range []Observation{
+		obs1("bb1", "10.1.2.0/24", "e1", sec(10), sec(40), 3),
+		obs1("bb2", "10.9.9.0/24", "e2", sec(10), sec(40), 3),   // other prefix
+		obs1("bb3", "10.1.2.0/24", "e3", sec(10), sec(40), 7),   // other cycle length
+		obs1("bb1", "10.1.2.0/24", "e4", sec(500), sec(520), 3), // same loop shape, much later
+	} {
+		if _, err := a.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loops := a.FleetLoops(); len(loops) != 4 {
+		t.Fatalf("got %d clusters, want 4: %+v", len(loops), loops)
+	}
+}
+
+// Host-granular and net-granular reports of the same destination
+// correlate once aggregated to AggBits.
+func TestPrefixAggregation(t *testing.T) {
+	a := newTestAgg(t, Config{AggBits: 24})
+	if _, err := a.Ingest(obs1("bb1", "10.1.2.55/32", "e1", sec(10), sec(40), 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Ingest(obs1("bb2", "10.1.2.0/24", "e2", sec(11), sec(39), 3)); err != nil {
+		t.Fatal(err)
+	}
+	loops := a.FleetLoops()
+	if len(loops) != 1 {
+		t.Fatalf("got %d clusters, want 1", len(loops))
+	}
+	if loops[0].Prefix != "10.1.2.0/24" {
+		t.Errorf("aggregated prefix = %q, want 10.1.2.0/24", loops[0].Prefix)
+	}
+	// The evidence keeps the original granularity.
+	if loops[0].Evidence[0].Prefix != "10.1.2.55/32" {
+		t.Errorf("evidence prefix = %q, want the vantage's own 10.1.2.55/32", loops[0].Evidence[0].Prefix)
+	}
+}
+
+// TTLSlack admits near-miss deltas; zero slack (default) does not.
+func TestTTLSlack(t *testing.T) {
+	strict := newTestAgg(t, Config{})
+	strict.Ingest(obs1("bb1", "10.1.2.0/24", "e1", sec(10), sec(40), 3))
+	strict.Ingest(obs1("bb2", "10.1.2.0/24", "e2", sec(11), sec(39), 4))
+	if got := len(strict.FleetLoops()); got != 2 {
+		t.Errorf("slack 0: got %d clusters, want 2", got)
+	}
+	loose := newTestAgg(t, Config{TTLSlack: 1})
+	loose.Ingest(obs1("bb1", "10.1.2.0/24", "e1", sec(10), sec(40), 3))
+	loose.Ingest(obs1("bb2", "10.1.2.0/24", "e2", sec(11), sec(39), 4))
+	if got := len(loose.FleetLoops()); got != 1 {
+		t.Errorf("slack 1: got %d clusters, want 1", got)
+	}
+}
+
+// Restarting from the journal must reproduce the exact fleet loop set
+// and fleet statistics — the crash-consistency acceptance criterion.
+func TestJournalReplayReproducesState(t *testing.T) {
+	dir := t.TempDir()
+	journal := dir + "/fleet.jsonl"
+	a1 := newTestAgg(t, Config{Journal: journal})
+	seed := []Observation{
+		obs1("bb1", "10.1.2.0/24", "e1", sec(10), sec(40), 3),
+		obs1("bb2", "10.1.2.0/24", "e2", sec(12), sec(41), 3),
+		obs1("bb1", "10.9.9.0/24", "e3", sec(100), sec(130), 5),
+		obs1("bb3", "10.1.2.0/24", "e4", sec(9), sec(38), 3),
+		obs1("bb2", "10.9.9.0/24", "e5", sec(101), sec(131), 5),
+	}
+	for _, o := range seed {
+		if _, err := a1.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantLoops := a1.FleetLoops()
+	wantStats := statsJSON(t, a1)
+
+	// No Close: the append handle stays open, exactly like kill -9.
+	a2 := newTestAgg(t, Config{Journal: journal})
+	if gotLoops := a2.FleetLoops(); !reflect.DeepEqual(gotLoops, wantLoops) {
+		t.Errorf("replayed fleet loops differ:\n got %+v\nwant %+v", gotLoops, wantLoops)
+	}
+	if gotStats := statsJSON(t, a2); gotStats != wantStats {
+		t.Errorf("replayed fleet stats differ:\n got %s\nwant %s", gotStats, wantStats)
+	}
+	// Replay also re-arms dedup: redelivering a journaled observation
+	// is suppressed.
+	if accepted, err := a2.Ingest(seed[0]); err != nil || accepted {
+		t.Errorf("post-replay redelivery = %v, %v; want duplicate", accepted, err)
+	}
+}
+
+func statsJSON(t *testing.T, a *Aggregator) string {
+	t.Helper()
+	st, err := a.Stats(analytics.Query{})
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	buf, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// A torn trailing line (kill -9 mid-append) is quarantined, and the
+// complete lines replay.
+func TestTornJournalTailQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	journal := dir + "/fleet.jsonl"
+	good, err := json.Marshal(obs1("bb1", "10.1.2.0/24", "e1", sec(10), sec(40), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journal, append(good, "\n{\"vantage\":\"bb2\",\"ev"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := newTestAgg(t, Config{Journal: journal})
+	if got := len(a.FleetLoops()); got != 1 {
+		t.Fatalf("got %d fleet loops after torn-tail repair, want 1", got)
+	}
+	if _, err := os.Stat(journal + ".quarantine"); err != nil {
+		t.Errorf("quarantine sidecar missing: %v", err)
+	}
+}
+
+// A corrupt complete line costs that observation, not the journal.
+func TestJournalBadLineSkipped(t *testing.T) {
+	dir := t.TempDir()
+	journal := dir + "/fleet.jsonl"
+	good, err := json.Marshal(obs1("bb1", "10.1.2.0/24", "e1", sec(10), sec(40), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := "not json at all\n" + string(good) + "\n{\"vantage\":\"\",\"event\":{}}\n"
+	if err := os.WriteFile(journal, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := newTestAgg(t, Config{Journal: journal})
+	if got := len(a.FleetLoops()); got != 1 {
+		t.Fatalf("got %d fleet loops, want 1", got)
+	}
+}
+
+// Fleet statistics must not depend on the order observations arrive
+// across vantages: the per-vantage sketches merge associatively and
+// commutatively in sorted vantage order, so any arrival interleaving
+// renders the identical stats document. This is the merge-tree
+// independence property the analytics layer guarantees, re-pinned at
+// the fleet tier.
+func TestFleetStatsArrivalOrderIndependent(t *testing.T) {
+	base := []Observation{
+		obs1("bb1", "10.1.2.0/24", "e1", sec(10), sec(40), 3),
+		obs1("bb2", "10.1.2.0/24", "e2", sec(12), sec(41), 3),
+		obs1("bb3", "10.1.2.0/24", "e3", sec(9), sec(38), 3),
+		obs1("bb1", "10.9.9.0/24", "e4", sec(100), sec(130), 5),
+		obs1("bb2", "10.9.9.0/24", "e5", sec(101), sec(131), 5),
+		obs1("bb3", "10.7.7.0/24", "e6", sec(200), sec(260), 7),
+	}
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 5, 3},
+		{3, 5, 1, 0, 2, 4},
+	}
+	var want string
+	for i, order := range orders {
+		a := newTestAgg(t, Config{})
+		for _, idx := range order {
+			if _, err := a.Ingest(base[idx]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := statsJSON(t, a)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("order %v renders different fleet stats:\n got %s\nwant %s", order, got, want)
+		}
+	}
+}
+
+// Pull cursors survive the atomic checkpoint; a corrupt checkpoint is
+// quarantined and polling starts over (safe: dedup absorbs refetch).
+func TestCursorCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cp := dir + "/cursors.json"
+	a1 := newTestAgg(t, Config{Checkpoint: cp})
+	a1.SetCursor("bb1", 17)
+	a1.SetCursor("bb2", 5)
+	if err := a1.SaveCheckpoint(); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	a2 := newTestAgg(t, Config{Checkpoint: cp})
+	if got := a2.Cursor("bb1"); got != 17 {
+		t.Errorf("bb1 cursor = %d, want 17", got)
+	}
+	if got := a2.Cursor("bb2"); got != 5 {
+		t.Errorf("bb2 cursor = %d, want 5", got)
+	}
+
+	if err := os.WriteFile(cp, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a3 := newTestAgg(t, Config{Checkpoint: cp})
+	if got := a3.Cursor("bb1"); got != 0 {
+		t.Errorf("cursor from corrupt checkpoint = %d, want 0", got)
+	}
+	if _, err := os.Stat(cp + ".corrupt"); err != nil {
+		t.Errorf("corrupt sidecar missing: %v", err)
+	}
+}
+
+// The vantage table aggregates per-daemon standing.
+func TestVantageTable(t *testing.T) {
+	a := newTestAgg(t, Config{})
+	a.Ingest(obs1("bb2", "10.1.2.0/24", "e1", sec(10), sec(40), 3))
+	a.Ingest(obs1("bb1", "10.1.2.0/24", "e2", sec(12), sec(41), 3))
+	a.Ingest(obs1("bb1", "10.1.2.0/24", "e2", sec(12), sec(41), 3)) // dup
+	vs := a.Vantages()
+	if len(vs) != 2 || vs[0].Name != "bb1" || vs[1].Name != "bb2" {
+		t.Fatalf("vantages = %+v, want sorted [bb1 bb2]", vs)
+	}
+	if vs[0].Observations != 1 || vs[0].Duplicates != 1 {
+		t.Errorf("bb1 = %d obs / %d dups, want 1/1", vs[0].Observations, vs[0].Duplicates)
+	}
+	if got := vs[0].Transports; len(got) != 1 || got[0] != TransportPush {
+		t.Errorf("bb1 transports = %v, want [push]", got)
+	}
+}
+
+// Observations missing identity are rejected, and the vantage
+// attribution falls back event vantage -> event source.
+func TestIngestValidation(t *testing.T) {
+	a := newTestAgg(t, Config{})
+	if _, err := a.Ingest(Observation{Event: loopscope.Event{Prefix: "10.0.0.0/24"}}); err == nil {
+		t.Error("want error for observation without vantage or ID")
+	}
+	ev := mkEvent("", "tap7", "10.1.2.0/24", "e1", sec(1), sec(2), 3)
+	if _, err := a.Ingest(Observation{Event: ev}); err != nil {
+		t.Fatalf("source fallback rejected: %v", err)
+	}
+	if vs := a.Vantages(); len(vs) != 1 || vs[0].Name != "tap7" {
+		t.Errorf("vantages = %+v, want attribution to source tap7", vs)
+	}
+}

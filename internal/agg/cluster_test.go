@@ -1,0 +1,141 @@
+package agg
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"loopscope/internal/core"
+	"loopscope/internal/netsim"
+	"loopscope/internal/obs/flight"
+	"loopscope/internal/scenario"
+	"loopscope/pkg/loopscope"
+)
+
+// The fleet tier's end-to-end acceptance check, against netsim ground
+// truth: three taps around one pocket's loop cycle each capture the
+// same injected loop, each vantage's detector reports it
+// independently, and the aggregator must collapse the three reports
+// into exactly one FleetLoop carrying all three vantage attributions.
+// Measured against the simulator's ground-truth loop windows, dedup
+// precision and recall are both required to be 1.0, and a kill -9
+// restart (journal replay, no Close) must reproduce the identical
+// fleet loop set.
+func TestClusterDedupPrecisionRecall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full backbone simulation")
+	}
+	spec := scenario.Spec{
+		Name:             "cluster",
+		Seed:             7,
+		Duration:         90 * time.Second,
+		PacketsPerSecond: 400,
+		StablePrefixes:   8,
+		Pockets: []scenario.PocketSpec{
+			// One Delta-3 pocket: a three-link cycle, so three taps
+			// can each see every looping packet once per revolution.
+			{Delta: 3, Prefixes: 1, Failures: 1, RepairAfter: 25 * time.Second},
+		},
+	}
+	const vantages = 3
+	cl := scenario.BuildCluster(spec, vantages)
+	cl.Run()
+
+	journal := filepath.Join(t.TempDir(), "fleet.jsonl")
+	a := newTestAgg(t, Config{Journal: journal, JoinWindow: 10 * time.Second})
+
+	// Run the single-vantage detector over each tap's capture and
+	// feed every detected loop to the aggregator, exactly as a fleet
+	// of loopscoped daemons would report it.
+	reported := 0
+	for _, v := range cl.Vantages {
+		res := core.DetectRecords(v.Tap.Records(), core.DefaultConfig())
+		if len(res.Loops) == 0 {
+			t.Fatalf("vantage %s (%s): detector found no loops", v.Name, v.Link.Name)
+		}
+		for _, l := range res.Loops {
+			ev := loopscope.Event{
+				ID:         flight.LoopID(v.Name, l.Prefix.String(), int64(l.Start)),
+				Source:     v.Link.Name,
+				Vantage:    v.Name,
+				Prefix:     l.Prefix.String(),
+				StartNs:    int64(l.Start),
+				EndNs:      int64(l.End),
+				DurationNs: int64(l.End - l.Start),
+				Streams:    len(l.Streams),
+				Replicas:   l.Replicas(),
+				TTLDelta:   l.Streams[0].TTLDelta(),
+			}
+			accepted, err := a.Ingest(Observation{Vantage: v.Name, Transport: TransportPull, Event: ev})
+			if err != nil || !accepted {
+				t.Fatalf("Ingest(%s %s) = %v, %v", v.Name, ev.Prefix, accepted, err)
+			}
+			reported++
+		}
+	}
+	if reported < vantages {
+		t.Fatalf("only %d observations across %d vantages", reported, vantages)
+	}
+
+	// Exactly one fleet loop, attributed to every vantage.
+	loops := a.FleetLoops()
+	if len(loops) != 1 {
+		t.Fatalf("fleet loops = %d from %d observations, want 1 (dedup failed): %+v",
+			len(loops), reported, loops)
+	}
+	fl := loops[0]
+	if len(fl.Vantages) != vantages {
+		t.Errorf("fleet loop vantages = %v, want all %d", fl.Vantages, vantages)
+	}
+	if len(fl.Evidence) != reported {
+		t.Errorf("fleet loop evidence = %d entries, want every observation (%d)", len(fl.Evidence), reported)
+	}
+
+	// Precision and recall against the simulator's ground truth must
+	// both be 1.0: every fleet loop matches a ground-truth window for
+	// the same /24 and overlapping time, and every ground-truth
+	// window is covered by a fleet loop.
+	windows := cl.Net.GroundTruthWindows(time.Minute)
+	if len(windows) == 0 {
+		t.Fatal("simulation produced no ground-truth loops")
+	}
+	const slack = int64(time.Second)
+	matchesWindow := func(fl FleetLoop, w netsim.LoopWindow) bool {
+		return fl.Prefix == w.Prefix.String() &&
+			fl.StartNs <= int64(w.End)+slack && int64(w.Start) <= fl.EndNs+slack
+	}
+	for _, fl := range loops {
+		found := false
+		for _, w := range windows {
+			if matchesWindow(fl, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fleet loop %s %s [%d, %d] has no ground-truth counterpart (precision < 1)",
+				fl.ID, fl.Prefix, fl.StartNs, fl.EndNs)
+		}
+	}
+	for _, w := range windows {
+		found := false
+		for _, fl := range loops {
+			if matchesWindow(fl, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("ground-truth window %s [%v, %v] not covered by any fleet loop (recall < 1)",
+				w.Prefix, w.Start, w.End)
+		}
+	}
+
+	// kill -9: no Close, no final sync — a fresh aggregator replaying
+	// the same journal must reproduce the identical fleet loop set.
+	replay := newTestAgg(t, Config{Journal: journal, JoinWindow: 10 * time.Second})
+	if !reflect.DeepEqual(replay.FleetLoops(), loops) {
+		t.Errorf("journal replay diverged:\n got %+v\nwant %+v", replay.FleetLoops(), loops)
+	}
+}

@@ -1,0 +1,225 @@
+package agg
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"loopscope/pkg/loopscope"
+)
+
+// fleetServer builds an aggregator with a few cross-vantage
+// observations behind its HTTP handler, plus the typed client —
+// which doubles as the client-side contract check for the fleet
+// endpoints.
+func fleetServer(t *testing.T) (*Aggregator, *httptest.Server, *loopscope.Client) {
+	t.Helper()
+	a := newTestAgg(t, Config{})
+	for _, o := range []Observation{
+		obs1("bb1", "10.1.2.0/24", "e1", sec(10), sec(40), 3),
+		obs1("bb2", "10.1.2.0/24", "e2", sec(12), sec(41), 3),
+		obs1("bb1", "10.9.9.0/24", "e3", sec(100), sec(130), 5),
+	} {
+		if _, err := a.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(a.Handler())
+	t.Cleanup(ts.Close)
+	return a, ts, loopscope.New(ts.URL)
+}
+
+func TestFleetLoopsEndpoint(t *testing.T) {
+	_, _, client := fleetServer(t)
+	ctx := context.Background()
+	loops, err := client.FleetLoops(ctx, loopscope.FleetLoopsQuery{})
+	if err != nil {
+		t.Fatalf("FleetLoops: %v", err)
+	}
+	if len(loops) != 2 {
+		t.Fatalf("got %d fleet loops, want 2", len(loops))
+	}
+	if got := loops[0].Vantages; len(got) != 2 {
+		t.Errorf("first loop vantages = %v, want two", got)
+	}
+	// Prefix filter narrows; limit keeps the newest.
+	filtered, err := client.FleetLoops(ctx, loopscope.FleetLoopsQuery{Prefix: "10.9.9.0/24"})
+	if err != nil || len(filtered) != 1 || filtered[0].Prefix != "10.9.9.0/24" {
+		t.Errorf("prefix filter: got %+v, %v", filtered, err)
+	}
+	limited, err := client.FleetLoops(ctx, loopscope.FleetLoopsQuery{Limit: 1})
+	if err != nil || len(limited) != 1 {
+		t.Errorf("limit: got %d loops, %v; want 1", len(limited), err)
+	}
+}
+
+func TestFleetVantagesEndpoint(t *testing.T) {
+	_, _, client := fleetServer(t)
+	vs, err := client.FleetVantages(context.Background())
+	if err != nil {
+		t.Fatalf("FleetVantages: %v", err)
+	}
+	if len(vs) != 2 || vs[0].Name != "bb1" || vs[1].Name != "bb2" {
+		t.Fatalf("vantages = %+v, want sorted bb1, bb2", vs)
+	}
+	if vs[0].Observations != 2 {
+		t.Errorf("bb1 observations = %d, want 2", vs[0].Observations)
+	}
+}
+
+func TestFleetStatsEndpoint(t *testing.T) {
+	_, _, client := fleetServer(t)
+	ctx := context.Background()
+	st, err := client.FleetStats(ctx, loopscope.FleetStatsQuery{})
+	if err != nil {
+		t.Fatalf("FleetStats: %v", err)
+	}
+	if st.Loops != 3 {
+		t.Errorf("fleet loops ingested = %d, want 3", st.Loops)
+	}
+	one, err := client.FleetStats(ctx, loopscope.FleetStatsQuery{Vantage: "bb2"})
+	if err != nil || one.Loops != 1 {
+		t.Errorf("bb2 stats = %+v, %v; want 1 loop", one, err)
+	}
+}
+
+// The fleet endpoints speak the daemon's exact error discipline:
+// machine-readable codes behind *APIError.
+func TestFleetAPIErrors(t *testing.T) {
+	_, ts, client := fleetServer(t)
+	ctx := context.Background()
+
+	_, err := client.FleetStats(ctx, loopscope.FleetStatsQuery{Vantage: "nope"})
+	var apiErr *loopscope.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound || apiErr.Code != "not_found" {
+		t.Errorf("unknown vantage: err = %v, want 404 not_found", err)
+	}
+	_, err = client.FleetStats(ctx, loopscope.FleetStatsQuery{Metric: "bogus"})
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest || apiErr.Code != "bad_param" {
+		t.Errorf("unknown metric: err = %v, want 400 bad_param", err)
+	}
+	_, err = client.FleetStats(ctx, loopscope.FleetStatsQuery{Window: "yesterdayish"})
+	if !errors.As(err, &apiErr) || apiErr.Code != "bad_param" {
+		t.Errorf("bad window: err = %v, want bad_param", err)
+	}
+
+	for _, bad := range []string{
+		"/api/v1/fleet/loops?limit=0",
+		"/api/v1/fleet/loops?limit=1&limit=2",
+		"/api/v1/fleet/loops?nonsense=1",
+		"/api/v1/fleet/vantages?x=y",
+	} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		dec := json.NewDecoder(resp.Body)
+		if err := dec.Decode(&eb); err != nil {
+			t.Fatalf("%s: decoding error body: %v", bad, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || eb.Error.Code != "bad_param" {
+			t.Errorf("%s: got %d %q, want 400 bad_param", bad, resp.StatusCode, eb.Error.Code)
+		}
+	}
+}
+
+// The push transport accepts the daemon's webhook payload, reports
+// duplicates as accepted=false (success, not error), and rejects
+// non-events.
+func TestIngestEndpoint(t *testing.T) {
+	a, ts, _ := fleetServer(t)
+	ev := mkEvent("bb9", "tap", "10.5.5.0/24", "push1", sec(1), sec(30), 4)
+	body, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(b []byte) (*http.Response, map[string]json.RawMessage) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/api/v1/ingest", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env map[string]json.RawMessage
+		json.NewDecoder(resp.Body).Decode(&env)
+		return resp, env
+	}
+
+	resp, env := post(body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d, body %v", resp.StatusCode, env)
+	}
+	var res ingestResult
+	if err := json.Unmarshal(env["data"], &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted || res.Vantage != "bb9" || res.ID != "push1" {
+		t.Errorf("ingest result = %+v, want accepted from bb9", res)
+	}
+	if !a.KnownVantage("bb9") {
+		t.Error("vantage bb9 not registered after push")
+	}
+
+	// Webhook redelivery: success, accepted=false.
+	resp, env = post(body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("redelivery status = %d", resp.StatusCode)
+	}
+	json.Unmarshal(env["data"], &res)
+	if res.Accepted {
+		t.Error("redelivery reported accepted=true, want duplicate suppression")
+	}
+
+	// Garbage bodies are bad_param, not 500s.
+	resp, env = post([]byte("definitely not json"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-JSON body: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = post([]byte(`{"source":"x"}`)) // no event ID
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("ID-less event: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAggHealthEndpoint(t *testing.T) {
+	_, ts, _ := fleetServer(t)
+	resp, err := http.Get(ts.URL + "/api/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Data struct {
+			Status       string `json:"status"`
+			Vantages     int    `json:"vantages"`
+			Observations int64  `json:"observations"`
+			FleetLoops   int    `json:"fleetLoops"`
+		} `json:"data"`
+		Meta struct {
+			API string `json:"api"`
+		} `json:"meta"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Meta.API != "v1" {
+		t.Errorf("meta.api = %q, want v1", env.Meta.API)
+	}
+	if env.Data.Status != "ok" || env.Data.Vantages != 2 || env.Data.Observations != 3 || env.Data.FleetLoops != 2 {
+		t.Errorf("health = %+v, want ok/2/3/2", env.Data)
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {
+		t.Errorf("content-type = %q", resp.Header.Get("Content-Type"))
+	}
+}

@@ -1,0 +1,91 @@
+package agg
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"loopscope/internal/serve"
+	"loopscope/pkg/loopscope"
+)
+
+// The push transport's schema contract: the JSON the daemon's webhook
+// sink emits (serve.Event) must decode losslessly into the client
+// mirror (loopscope.Event) the aggregator ingests. A field added to
+// one side but not the other fails here.
+func TestWebhookPayloadSchemaRoundTrip(t *testing.T) {
+	src := serve.Event{
+		ID: "abc123", Source: "bb1-tap", Vantage: "bb1", Link: "c1->c2",
+		Prefix: "10.1.2.0/24", Seq: 7,
+		StartNs: sec(10), EndNs: sec(40), DurationNs: sec(30),
+		Streams: 3, Replicas: 42, TTLDelta: 4, Escaped: 1,
+		Truncated: true, EmittedAtNs: sec(41),
+	}
+	buf, err := json.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got loopscope.Event
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	want := loopscope.Event{
+		ID: "abc123", Source: "bb1-tap", Vantage: "bb1", Link: "c1->c2",
+		Prefix: "10.1.2.0/24", Seq: 7,
+		StartNs: sec(10), EndNs: sec(40), DurationNs: sec(30),
+		Streams: 3, Replicas: 42, TTLDelta: 4, Escaped: 1,
+		Truncated: true, EmittedAtNs: sec(41),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("serve.Event -> loopscope.Event lost fields:\n got %+v\nwant %+v", got, want)
+	}
+	// And the mirror encodes back to the same document (field-for-field).
+	back, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b map[string]any
+	json.Unmarshal(buf, &a)
+	json.Unmarshal(back, &b)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("re-encoded payload drifted:\n serve %s\nclient %s", buf, back)
+	}
+}
+
+// End to end over the wire: the daemon's actual webhook sink delivers
+// into the aggregator's actual ingest endpoint, and the evidence the
+// fleet API serves carries the vantage attribution.
+func TestWebhookPushIntoAggregator(t *testing.T) {
+	a := newTestAgg(t, Config{})
+	ts := httptest.NewServer(a.Handler())
+	defer ts.Close()
+
+	hook := serve.NewWebhook(serve.WebhookOptions{
+		URL: ts.URL + "/api/v1/ingest", Timeout: 5 * time.Second,
+	})
+	hook.Publish(serve.Event{
+		ID: "push-e2e", Source: "tap3", Vantage: "bb2",
+		Prefix: "10.1.2.0/24", StartNs: sec(5), EndNs: sec(25), DurationNs: sec(20),
+		Streams: 2, Replicas: 9, TTLDelta: 3,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hook.Close(ctx); err != nil {
+		t.Fatalf("webhook drain: %v", err)
+	}
+
+	loops := a.FleetLoops()
+	if len(loops) != 1 {
+		t.Fatalf("got %d fleet loops after webhook push, want 1", len(loops))
+	}
+	ev := loops[0].Evidence[0]
+	if ev.Vantage != "bb2" || ev.EventID != "push-e2e" || ev.Source != "tap3" {
+		t.Errorf("evidence = %+v, want bb2/push-e2e/tap3", ev)
+	}
+	if vs := a.Vantages(); len(vs) != 1 || vs[0].Transports[0] != TransportPush {
+		t.Errorf("vantage standing = %+v, want push transport for bb2", vs)
+	}
+}

@@ -77,6 +77,17 @@ const (
 	MetricJournalSegmentsPruned = "loopscope_serve_journal_segments_pruned_total"
 	MetricAnalyticsIngested     = "loopscope_analytics_ingested_total"
 	MetricAnalyticsDeduped      = "loopscope_analytics_deduped_total"
+
+	// Fleet aggregation (internal/agg, the loopscope-agg daemon).
+	// Per-vantage series carry a vantage label; build names with
+	// LabelMetric.
+	MetricAggObservations  = "loopscope_agg_observations_total"
+	MetricAggDuplicates    = "loopscope_agg_duplicates_total"
+	MetricAggFleetLoops    = "loopscope_agg_fleet_loops"
+	MetricAggVantages      = "loopscope_agg_vantages"
+	MetricAggVantageLagNs  = "loopscope_agg_vantage_lag_ns"
+	MetricAggPollErrors    = "loopscope_agg_poll_errors_total"
+	MetricAggJournalErrors = "loopscope_agg_journal_errors_total"
 )
 
 // DetectLatencyBounds are the default bucket upper bounds (in
@@ -143,6 +154,14 @@ var metricHelp = map[string]string{
 	MetricAnalyticsIngested:     "Loop events folded into the analytics sketches.",
 	MetricAnalyticsDeduped:      "Replayed loop events suppressed by the analytics seen-ID ring.",
 	MetricFaultsInjected:        "Faults injected by the chaos plan (test builds only).",
+
+	MetricAggObservations:  "Loop observations accepted per vantage.",
+	MetricAggDuplicates:    "Redelivered observations suppressed per vantage.",
+	MetricAggFleetLoops:    "Deduplicated fleet-level loops currently known.",
+	MetricAggVantages:      "Vantages the aggregator has heard from.",
+	MetricAggVantageLagNs:  "Nanoseconds since a vantage's last observation arrived.",
+	MetricAggPollErrors:    "Failed pull-transport poll rounds per vantage.",
+	MetricAggJournalErrors: "Observation journal append failures.",
 
 	"loopscope_stage_seconds_total": "Wall-clock seconds spent per pipeline stage.",
 	"loopscope_stage_runs_total":    "Completed spans per pipeline stage.",

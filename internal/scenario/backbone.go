@@ -125,6 +125,14 @@ type Backbone struct {
 	BGP       *bgp.Protocol
 	// DestPrefixes lists every advertised destination /24.
 	DestPrefixes []routing.Prefix
+	// PocketRings records, per pocket, the directed links that close
+	// that pocket's loop cycle beyond the monitored link: packets
+	// caught in the pocket's transient loop traverse Monitored and
+	// then every link listed here, in order, once per revolution.
+	// Delta 2 pockets cycle over the monitored link's own reverse;
+	// deeper pockets cycle c2 → rs1 → … → rsN → c1. Multi-vantage
+	// experiments tap these to observe one loop from several points.
+	PocketRings [][]*netsim.Link
 
 	rng     *stats.RNG
 	drained bool
@@ -369,16 +377,20 @@ func (b *Backbone) buildPocket(idx int, ps PocketSpec, c1, c2 *netsim.Router,
 	// only. Delta 2 means no intermediate nodes: the backup hangs off
 	// c1 and the return is the monitored link's own reverse.
 	ringTail := c1
+	var ring []*netsim.Link
 	if ps.Delta > 2 {
 		prev := c2
 		for j := 0; j < ps.Delta-2; j++ {
 			rs := newRouter(fmt.Sprintf("p%d-rs%d", idx, j+1))
-			b.Net.Connect(prev, rs, lp(1, 8))
+			ring = append(ring, b.Net.Connect(prev, rs, lp(1, 8)))
 			prev = rs
 		}
-		b.Net.Connect(prev, c1, lp(1, 8))
+		ring = append(ring, b.Net.Connect(prev, c1, lp(1, 8)))
 		ringTail = prev
+	} else {
+		ring = append(ring, b.Monitored.Reverse)
 	}
+	b.PocketRings = append(b.PocketRings, ring)
 
 	// Backup exit off the ring tail, expensive so it only wins when
 	// the primary is gone.

@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"fmt"
+
+	"loopscope/internal/capture"
+	"loopscope/internal/netsim"
+)
+
+// ClusterVantage is one capture point in a multi-vantage experiment.
+type ClusterVantage struct {
+	// Name identifies the vantage (vp0, vp1, …): the label a
+	// loopscoped instance watching this tap would report as its
+	// -vantage.
+	Name string
+	// Link is the tapped directed link.
+	Link *netsim.Link
+	// Tap retains the records captured at this vantage.
+	Tap *capture.LinkTap
+}
+
+// Cluster is a backbone experiment observed from several vantages at
+// once: clean taps placed around pocket 0's loop cycle, so every
+// packet caught in that pocket's transient loop is captured once per
+// revolution at every vantage. It models a fleet of loopscoped
+// daemons watching different links of the same backbone — the
+// multi-observation workload loopscope-agg deduplicates.
+type Cluster struct {
+	*Backbone
+	Vantages []ClusterVantage
+}
+
+// BuildCluster builds spec and attaches n clean taps (no duplication
+// artefacts) along pocket 0's loop cycle: the monitored link first,
+// then the pocket's return-ring links in cycle order. A Delta-d
+// pocket has a d-link cycle, which bounds n; BuildCluster panics when
+// n exceeds it. Call Run on the embedded Backbone, then read each
+// vantage's records from its Tap.
+func BuildCluster(spec Spec, n int) *Cluster {
+	b := Build(spec)
+	cycle := append([]*netsim.Link{b.Monitored}, b.PocketRings[0]...)
+	if n < 1 || n > len(cycle) {
+		panic(fmt.Sprintf("scenario: cluster wants %d vantages, pocket 0's cycle has %d links", n, len(cycle)))
+	}
+	c := &Cluster{Backbone: b}
+	for i := 0; i < n; i++ {
+		link := cycle[i]
+		tap := capture.NewLinkTapOpts(link, capture.Options{
+			SnapLen: b.Spec.SnapLen,
+			Retain:  true,
+		})
+		c.Vantages = append(c.Vantages, ClusterVantage{
+			Name: fmt.Sprintf("vp%d", i),
+			Link: link,
+			Tap:  tap,
+		})
+	}
+	return c
+}

@@ -37,8 +37,13 @@ type Event struct {
 	// masks the completed loop a resumed run emits later.
 	ID     string `json:"id"`
 	Source string `json:"source"`
-	Link   string `json:"link,omitempty"`
-	Prefix string `json:"prefix"`
+	// Vantage is the stable identity of the daemon instance that
+	// observed the loop (the -vantage flag, default hostname). It rides
+	// in every journal line and webhook payload so the fleet aggregator
+	// can attribute observations without transport heuristics.
+	Vantage string `json:"vantage,omitempty"`
+	Link    string `json:"link,omitempty"`
+	Prefix  string `json:"prefix"`
 	// Seq is the emission sequence number within the source (-1 for
 	// truncated emissions).
 	Seq        int   `json:"seq"`
@@ -56,10 +61,11 @@ type Event struct {
 }
 
 // newEvent renders a session emission as a sink event.
-func newEvent(source, link string, se core.SessionEvent, now time.Time) Event {
+func newEvent(source, link, vantage string, se core.SessionEvent, now time.Time) Event {
 	l := se.Loop
 	ev := Event{
 		Source:      source,
+		Vantage:     vantage,
 		Link:        link,
 		Prefix:      l.Prefix.String(),
 		Seq:         se.Seq,

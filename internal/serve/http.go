@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -10,6 +9,7 @@ import (
 	"time"
 
 	"loopscope/internal/analytics"
+	"loopscope/internal/api"
 	"loopscope/internal/resil"
 )
 
@@ -90,74 +90,28 @@ func deprecatedAlias(successor string, h http.HandlerFunc) http.Handler {
 	})
 }
 
-// apiMeta is the envelope's metadata block.
-type apiMeta struct {
-	API string `json:"api"`
-	// Total is the all-time event count behind a paginated listing.
-	Total *int64 `json:"total,omitempty"`
-	// NextCursor, when present, fetches the next (older) page.
-	NextCursor *int64 `json:"nextCursor,omitempty"`
-}
-
-// apiEnvelope is every v1 success response.
-type apiEnvelope struct {
-	Data any     `json:"data"`
-	Meta apiMeta `json:"meta"`
-}
-
-// apiErrorBody is every v1 error response.
-type apiErrorBody struct {
-	Error apiErrorDetail `json:"error"`
-}
-
-type apiErrorDetail struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
-// v1 error codes.
-const (
-	errBadParam = "bad_param" // malformed or unknown query parameter (400)
-	errNotFound = "not_found" // well-formed reference to a missing resource (404)
-	errDisabled = "disabled"  // the subsystem behind the endpoint is not configured (404)
+// The envelope, error object, and strict-parameter contract live in
+// internal/api, shared with the fleet aggregator. Thin aliases keep
+// the handlers below readable.
+var (
+	strictParams = api.StrictParams
+	writeV1Error = api.WriteError
+	writeJSON    = api.WriteJSON
 )
 
-// writeV1 renders one enveloped v1 response.
-func writeV1(w http.ResponseWriter, code int, data any, meta apiMeta) {
-	meta.API = "v1"
-	writeJSON(w, code, apiEnvelope{Data: data, Meta: meta})
-}
+// v1 error codes (aliases of the shared protocol constants).
+const (
+	errBadParam = api.ErrBadParam
+	errNotFound = api.ErrNotFound
+	errDisabled = api.ErrDisabled
+)
 
-// writeV1Error renders one v1 error object.
-func writeV1Error(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, apiErrorBody{Error: apiErrorDetail{Code: code, Message: msg}})
-}
-
-// strictParams enforces the v1 query-parameter contract: every
-// parameter must be known and appear at most once. A typo'd or
-// repeated parameter is a 400, never silently ignored — the fix for
-// the pre-v1 surface where unknown params fell through.
-func strictParams(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
-	for name, vals := range r.URL.Query() {
-		known := false
-		for _, a := range allowed {
-			if name == a {
-				known = true
-				break
-			}
-		}
-		if !known {
-			writeV1Error(w, http.StatusBadRequest, errBadParam,
-				fmt.Sprintf("unknown parameter %q (allowed: %s)", name, strings.Join(allowed, ", ")))
-			return false
-		}
-		if len(vals) > 1 {
-			writeV1Error(w, http.StatusBadRequest, errBadParam,
-				fmt.Sprintf("parameter %q repeated", name))
-			return false
-		}
-	}
-	return true
+// writeV1 renders one enveloped v1 response, stamping the daemon's
+// vantage identity into the meta block so aggregators can attribute
+// polled data without transport heuristics.
+func (d *Daemon) writeV1(w http.ResponseWriter, code int, data any, meta api.Meta) {
+	meta.Vantage = d.cfg.Vantage
+	api.WriteOK(w, code, data, meta)
 }
 
 // sourceNames returns the configured source names (the valid values of
@@ -193,7 +147,7 @@ func (d *Daemon) v1Health(w http.ResponseWriter, r *http.Request) {
 	if !strictParams(w, r) {
 		return
 	}
-	writeV1(w, http.StatusOK, d.healthBody(), apiMeta{})
+	d.writeV1(w, http.StatusOK, d.healthBody(), api.Meta{})
 }
 
 // healthBody builds the health document both /healthz and
@@ -273,11 +227,11 @@ func (d *Daemon) v1Loops(w http.ResponseWriter, r *http.Request) {
 	for i := range page.Events {
 		events[i] = v1LoopEvent{Seq: page.Seqs[i], Event: page.Events[i]}
 	}
-	meta := apiMeta{Total: &page.Total}
+	meta := api.Meta{Total: &page.Total}
 	if page.Next > 0 {
 		meta.NextCursor = &page.Next
 	}
-	writeV1(w, http.StatusOK, map[string]any{"events": events}, meta)
+	d.writeV1(w, http.StatusOK, map[string]any{"events": events}, meta)
 }
 
 // v1Sources serves GET /api/v1/sources.
@@ -290,7 +244,7 @@ func (d *Daemon) v1Sources(w http.ResponseWriter, r *http.Request) {
 		infos = append(infos, s.info())
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
-	writeV1(w, http.StatusOK, map[string]any{"sources": infos}, apiMeta{})
+	d.writeV1(w, http.StatusOK, map[string]any{"sources": infos}, api.Meta{})
 }
 
 // v1Trace serves GET /api/v1/trace (trail index) and
@@ -305,7 +259,7 @@ func (d *Daemon) v1Trace(w http.ResponseWriter, r *http.Request) {
 	}
 	id := r.PathValue("id")
 	if id == "" {
-		writeV1(w, http.StatusOK, map[string]any{"trails": d.cfg.Flight.TrailIDs()}, apiMeta{})
+		d.writeV1(w, http.StatusOK, map[string]any{"trails": d.cfg.Flight.TrailIDs()}, api.Meta{})
 		return
 	}
 	tr := d.cfg.Flight.Trail(id)
@@ -313,7 +267,7 @@ func (d *Daemon) v1Trace(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, http.StatusNotFound, errNotFound, "unknown trail "+id)
 		return
 	}
-	writeV1(w, http.StatusOK, tr, apiMeta{})
+	d.writeV1(w, http.StatusOK, tr, api.Meta{})
 }
 
 // v1Stats serves GET /api/v1/stats?window=&source=&metric=: the
@@ -346,13 +300,13 @@ func (d *Daemon) v1Stats(w http.ResponseWriter, r *http.Request) {
 		case *analytics.ErrUnknownSource:
 			// The source exists but has recorded nothing yet: an empty
 			// stats document, not an error.
-			writeV1(w, http.StatusOK, analytics.EmptyStats(q.Get("window"), src), apiMeta{})
+			d.writeV1(w, http.StatusOK, analytics.EmptyStats(q.Get("window"), src), api.Meta{})
 		default:
 			writeV1Error(w, http.StatusNotFound, errDisabled, err.Error())
 		}
 		return
 	}
-	writeV1(w, http.StatusOK, st, apiMeta{})
+	d.writeV1(w, http.StatusOK, st, api.Meta{})
 }
 
 // --- legacy (pre-v1) handlers; payload shapes are frozen ---
@@ -424,13 +378,4 @@ func (d *Daemon) handleSources(w http.ResponseWriter, _ *http.Request) {
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	writeJSON(w, http.StatusOK, map[string]any{"sources": infos})
-}
-
-// writeJSON renders one API response.
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
 }

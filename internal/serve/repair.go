@@ -35,6 +35,14 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 	return FsyncOff, fmt.Errorf("serve: unknown fsync policy %q (want off or always)", s)
 }
 
+// RepairTornTail exposes the daemon's torn-tail repair to sibling
+// subsystems that append JSONL with the same crash-consistency
+// discipline — the fleet aggregator runs it over its observation
+// journal before replaying. See repairTornTail for the contract.
+func RepairTornTail(path string, log *slog.Logger) (int64, error) {
+	return repairTornTail(path, log)
+}
+
 // tornScanBack bounds how far back repairTornTail searches for the
 // last newline. One journal line is well under 4KB; a megabyte covers
 // any realistic record with orders of magnitude to spare.

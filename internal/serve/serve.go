@@ -23,6 +23,13 @@ type Config struct {
 	// Detector is the core detection configuration every source's
 	// session runs with.
 	Detector core.Config
+	// Vantage is this daemon instance's stable identity in a fleet
+	// (cmd/loopscoped defaults it to the hostname). It is stamped into
+	// every published event — journal lines, webhook payloads, the API
+	// ring — and into every /api/v1 response's meta block, so the
+	// loopscope-agg tier can attribute observations to the tap that
+	// made them. Empty is fine for single-daemon deployments.
+	Vantage string
 	// CheckpointPath, when set, enables periodic atomic checkpoints
 	// and resume-on-start.
 	CheckpointPath string

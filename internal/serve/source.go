@@ -132,7 +132,7 @@ func (s *sourceState) emit(se core.SessionEvent) {
 	} else {
 		s.finalC.Inc()
 	}
-	ev := newEvent(s.name, s.link, se, time.Now())
+	ev := newEvent(s.name, s.link, s.d.cfg.Vantage, se, time.Now())
 	// Detection latency on the trace clock: how far the stream had
 	// advanced past the loop's end before the detector could commit it.
 	if lat := int64(s.sess.HighWater() - se.Loop.End); lat >= 0 {

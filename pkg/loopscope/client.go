@@ -41,6 +41,10 @@ func New(baseURL string) *Client {
 // response.
 type Meta struct {
 	API string `json:"api"`
+	// Vantage is the answering daemon's fleet identity (its -vantage
+	// flag, default hostname); empty from servers that are not a
+	// vantage themselves (the aggregator).
+	Vantage string `json:"vantage,omitempty"`
 	// Total is the all-time event count behind a paginated listing.
 	Total *int64 `json:"total,omitempty"`
 	// NextCursor, when present, fetches the next (older) page.
@@ -74,8 +78,11 @@ type Health struct {
 
 // Event mirrors one published loop event.
 type Event struct {
-	ID          string `json:"id"`
-	Source      string `json:"source"`
+	ID     string `json:"id"`
+	Source string `json:"source"`
+	// Vantage is the observing daemon's fleet identity; the
+	// aggregator attributes and deduplicates by it.
+	Vantage     string `json:"vantage,omitempty"`
 	Link        string `json:"link,omitempty"`
 	Prefix      string `json:"prefix"`
 	Seq         int    `json:"seq"`
@@ -100,6 +107,8 @@ type LoopEvent struct {
 // LoopPage is one page of GET /api/v1/loops, newest first.
 type LoopPage struct {
 	Events []LoopEvent
+	// Vantage is the serving daemon's fleet identity (envelope meta).
+	Vantage string
 	// Total is the all-time published event count.
 	Total int64
 	// NextCursor fetches the next (older) page; zero when this page
@@ -206,7 +215,7 @@ func (c *Client) Loops(ctx context.Context, q LoopsQuery) (*LoopPage, error) {
 	if err != nil {
 		return nil, err
 	}
-	page := &LoopPage{Events: body.Events}
+	page := &LoopPage{Events: body.Events, Vantage: meta.Vantage}
 	if meta.Total != nil {
 		page.Total = *meta.Total
 	}
