@@ -22,6 +22,7 @@ import (
 	"loopscope/internal/analytics"
 	"loopscope/internal/baseline"
 	"loopscope/internal/core"
+	"loopscope/internal/fibscan"
 	"loopscope/internal/netsim"
 	"loopscope/internal/obs"
 	"loopscope/internal/obs/flight"
@@ -733,6 +734,44 @@ func BenchmarkAggIngest(b *testing.B) {
 				}
 				b.ReportMetric(float64(fleetLoops), "fleet_loops")
 			}
+		})
+	}
+}
+
+// BenchmarkFIBScan measures the static control-plane loop scan
+// (internal/fibscan) on synthetic hub-and-spoke fleets: 10k prefixes,
+// 20 injected stale-convergence loops, at two fleet sizes. The sweep
+// is O(entries + atoms x routers), so per-router cost must not grow
+// with fleet size; CI extracts both rows into BENCH_fibscan.json
+// (cmd/benchjson -mode fibscan) and fails when the large fleet's
+// per-router cost regresses past the budget relative to the small one.
+func BenchmarkFIBScan(b *testing.B) {
+	const prefixes, loops = 10000, 20
+	for _, routers := range []int{100, 1000} {
+		snap, looped := fibscan.Synthetic(routers, prefixes, loops)
+		b.Run(fmt.Sprintf("routers=%d", routers), func(b *testing.B) {
+			b.ReportAllocs()
+			var rep *fibscan.Report
+			for i := 0; i < b.N; i++ {
+				rep = fibscan.Scan(&snap)
+			}
+			if len(rep.Warnings) != 0 {
+				b.Fatalf("scan warned: %v", rep.Warnings)
+			}
+			found := 0
+			for _, p := range looped {
+				for i := range rep.Cycles {
+					if rep.Cycles[i].CoversPrefix(p) {
+						found++
+						break
+					}
+				}
+			}
+			if found != len(looped) {
+				b.Fatalf("found %d of %d injected loops", found, len(looped))
+			}
+			b.ReportMetric(float64(rep.Atoms), "atoms")
+			b.ReportMetric(float64(len(rep.Cycles)), "cycles")
 		})
 	}
 }

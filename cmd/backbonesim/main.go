@@ -19,26 +19,29 @@ import (
 	"path/filepath"
 	"time"
 
+	"loopscope/internal/fibscan"
 	"loopscope/internal/scenario"
 	"loopscope/internal/trace"
 )
 
 func main() {
 	var (
-		outDir = flag.String("out", ".", "output directory")
-		only   = flag.String("only", "", "run a single backbone by name")
-		pcap   = flag.Bool("pcap", false, "write pcap instead of the native format")
-		scale  = flag.Float64("scale", 1.0, "scale factor on duration and rate (0.1 = quick run)")
+		outDir   = flag.String("out", ".", "output directory")
+		only     = flag.String("only", "", "run a single backbone by name")
+		pcap     = flag.Bool("pcap", false, "write pcap instead of the native format")
+		scale    = flag.Float64("scale", 1.0, "scale factor on duration and rate (0.1 = quick run)")
+		fibSnaps = flag.Bool("fib-snapshots", false, "also capture FIB snapshots to <name>_fibs.json (cmd/fibscan input)")
+		fibEvery = flag.Duration("fib-every", 25*time.Millisecond, "FIB snapshot tick (with -fib-snapshots)")
 	)
 	flag.Parse()
 
-	if err := run(*outDir, *only, *pcap, *scale); err != nil {
+	if err := run(*outDir, *only, *pcap, *scale, *fibSnaps, *fibEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "backbonesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir, only string, pcap bool, scale float64) error {
+func run(outDir, only string, pcap bool, scale float64, fibSnaps bool, fibEvery time.Duration) error {
 	if scale <= 0 || scale > 10 {
 		return fmt.Errorf("scale %v out of range (0, 10]", scale)
 	}
@@ -55,7 +58,14 @@ func run(outDir, only string, pcap bool, scale float64) error {
 		spec.PacketsPerSecond *= scale
 
 		start := time.Now()
-		b := scenario.Build(spec)
+		var b *scenario.Backbone
+		var cv *scenario.CrossVal
+		if fibSnaps {
+			cv = scenario.BuildCrossVal(spec, fibEvery)
+			b = cv.Backbone
+		} else {
+			b = scenario.Build(spec)
+		}
 		b.Run()
 		recs := b.Records()
 
@@ -66,6 +76,13 @@ func run(outDir, only string, pcap bool, scale float64) error {
 		path := filepath.Join(outDir, spec.Name+ext)
 		if err := writeTrace(path, b.Meta(), recs, pcap); err != nil {
 			return err
+		}
+		if cv != nil {
+			fibPath := filepath.Join(outDir, spec.Name+"_fibs.json")
+			if err := fibscan.WriteFile(fibPath, cv.SnapshotFile()); err != nil {
+				return err
+			}
+			fmt.Printf("%s: %d FIB snapshots -> %s\n", spec.Name, len(cv.Snapshots), fibPath)
 		}
 		fmt.Printf("%s: %d packets, %d ground-truth loop events -> %s (%v)\n",
 			spec.Name, len(recs), len(b.Net.GroundTruth), path,

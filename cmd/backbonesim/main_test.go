@@ -5,13 +5,16 @@ import (
 	"path/filepath"
 	"testing"
 
+	"time"
+
 	"loopscope/internal/core"
+	"loopscope/internal/fibscan"
 	"loopscope/internal/trace"
 )
 
 func TestRunWritesOneBackbone(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "backbone3", false, 0.15); err != nil {
+	if err := run(dir, "backbone3", false, 0.15, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, "backbone3.lspt")
@@ -44,7 +47,7 @@ func TestRunWritesOneBackbone(t *testing.T) {
 
 func TestRunPcap(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "backbone3", true, 0.1); err != nil {
+	if err := run(dir, "backbone3", true, 0.1, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(filepath.Join(dir, "backbone3.pcap"))
@@ -59,10 +62,29 @@ func TestRunPcap(t *testing.T) {
 
 func TestRunRejectsBadInputs(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "nope", false, 1); err == nil {
+	if err := run(dir, "nope", false, 1, false, 0); err == nil {
 		t.Error("unknown backbone accepted")
 	}
-	if err := run(dir, "", false, 0); err == nil {
+	if err := run(dir, "", false, 0, false, 0); err == nil {
 		t.Error("zero scale accepted")
+	}
+}
+
+func TestRunWritesFIBSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "backbone3", false, 0.1, true, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fibscan.ReadFile(filepath.Join(dir, "backbone3_fibs.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Network != "backbone3" || len(f.Snapshots) < 2 {
+		t.Fatalf("network=%q snapshots=%d", f.Network, len(f.Snapshots))
+	}
+	// The written timeline is scannable.
+	reports := fibscan.ScanTimeline(f.Snapshots)
+	if len(reports) != len(f.Snapshots) {
+		t.Fatalf("reports=%d", len(reports))
 	}
 }

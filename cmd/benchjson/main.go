@@ -1,7 +1,7 @@
 // Command benchjson converts `go test -bench` output into
 // machine-readable JSON files for CI to archive and guard.
 //
-// Two modes:
+// Modes:
 //
 //	-mode parallel (default): extract BenchmarkParallelDetect/workers=N
 //	lines into a per-worker-count scaling table.
@@ -27,6 +27,14 @@
 //	    go test -run '^$' -bench AggIngest -benchtime 50x . |
 //	        benchjson -mode agg -max-regress 5 -out BENCH_agg.json
 //
+//	-mode fibscan: extract BenchmarkFIBScan/routers=N rows and fail
+//	when the per-router scan cost at the largest fleet exceeds the
+//	smallest fleet's by more than -max-regress percent — the guard
+//	that keeps the static FIB loop scan linear in router count.
+//
+//	    go test -run '^$' -bench FIBScan -benchtime 1x . |
+//	        benchjson -mode fibscan -max-regress 25 -out BENCH_fibscan.json
+//
 // Anything else on stdin is ignored, so the tool can consume the raw
 // `go test` stream.
 package main
@@ -39,6 +47,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 )
 
@@ -78,6 +87,12 @@ var analyticsLine = regexp.MustCompile(
 //	BenchmarkAggIngest/mode=fresh-8  50  4383682 ns/op  1024 fleet_loops  233609 obs/s
 var aggLine = regexp.MustCompile(
 	`^BenchmarkAggIngest/mode=(\w+)\S*\s+\d+\s+([\d.]+) ns/op(.*)`)
+
+// fibscanLine matches one static-scan result, e.g.
+//
+//	BenchmarkFIBScan/routers=1000-8  1  181994282 ns/op  10002 atoms  20.00 cycles
+var fibscanLine = regexp.MustCompile(
+	`^BenchmarkFIBScan/routers=(\d+)\S*\s+\d+\s+([\d.]+) ns/op(.*)`)
 
 // metricPair matches the trailing "value unit" metrics go test appends
 // (records/s, B/op, allocs/op, stage_<name>_ns, ...).
@@ -121,9 +136,9 @@ type analyticsReport struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output JSON file (default BENCH_parallel.json, BENCH_obs.json or BENCH_agg.json by mode)")
-	mode := flag.String("mode", "parallel", "what to extract: parallel (worker-count sweep), obs (instrumentation-overhead comparison) or agg (fleet-ingest duplicate-path comparison)")
-	maxRegress := flag.Float64("max-regress", 5, "obs/agg modes: fail when the instrumented (or duplicate) run is more than this percent slower than its baseline (< 0: never fail)")
+	out := flag.String("out", "", "output JSON file (default BENCH_<mode>.json)")
+	mode := flag.String("mode", "parallel", "what to extract: parallel (worker-count sweep), obs (instrumentation-overhead comparison), agg (fleet-ingest duplicate-path comparison) or fibscan (static-scan router-count scaling)")
+	maxRegress := flag.Float64("max-regress", 5, "obs/agg/fibscan modes: fail when the measured run is more than this percent slower than its baseline (< 0: never fail)")
 	flag.Parse()
 	switch *mode {
 	case "parallel":
@@ -141,6 +156,11 @@ func main() {
 			*out = "BENCH_agg.json"
 		}
 		mainAgg(*out, *maxRegress)
+	case "fibscan":
+		if *out == "" {
+			*out = "BENCH_fibscan.json"
+		}
+		mainFibscan(*out, *maxRegress)
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown -mode %q\n", *mode)
 		os.Exit(2)
@@ -224,6 +244,82 @@ func mainAgg(out string, maxRegress float64) {
 			rep.RegressPct, maxRegress)
 		os.Exit(1)
 	}
+}
+
+// fibscanEntry is one BenchmarkFIBScan row.
+type fibscanEntry struct {
+	Routers int                `json:"routers"`
+	NsPerOp float64            `json:"nsPerOp"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// fibscanReport is BENCH_fibscan.json. ScalingPct is how much the
+// per-router scan cost grew from the smallest to the largest fleet, in
+// percent above linear scaling: 0 means the sweep scales exactly
+// linearly in router count, negative means fixed costs amortised, and
+// a large positive value means something superlinear crept into the
+// atom sweep — which is what the guard fails on.
+type fibscanReport struct {
+	Entries    []fibscanEntry `json:"entries"`
+	ScalingPct float64        `json:"scalingPct"`
+}
+
+func mainFibscan(out string, maxRegress float64) {
+	rep, err := parseFibscan(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	// Write the report before deciding pass/fail, so the artifact
+	// survives a failed guard for post-mortem.
+	writeJSON(out, rep)
+	for _, e := range rep.Entries {
+		fmt.Printf("routers=%d: %.0f ns/op (%.0f atoms, %.0f cycles)\n",
+			e.Routers, e.NsPerOp, e.Metrics["atoms"], e.Metrics["cycles"])
+	}
+	fmt.Printf("per-router scaling: %+.2f%% vs linear\n", rep.ScalingPct)
+	if maxRegress >= 0 && rep.ScalingPct > maxRegress {
+		fmt.Fprintf(os.Stderr, "benchjson: fibscan per-router cost grew %.2f%% past linear, over the %.2f%% budget\n",
+			rep.ScalingPct, maxRegress)
+		os.Exit(1)
+	}
+}
+
+// parseFibscan extracts every BenchmarkFIBScan fleet size and computes
+// the per-router scaling from the smallest to the largest.
+func parseFibscan(r io.Reader) (*fibscanReport, error) {
+	rep := &fibscanReport{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		m := fibscanLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		routers, err := strconv.Atoi(m[1])
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		nsPerOp, metrics, err := parseBenchResult(line, m)
+		if err != nil {
+			return nil, err
+		}
+		rep.Entries = append(rep.Entries, fibscanEntry{Routers: routers, NsPerOp: nsPerOp, Metrics: metrics})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Entries) < 2 {
+		return nil, fmt.Errorf("need at least two BenchmarkFIBScan fleet sizes on stdin, got %d", len(rep.Entries))
+	}
+	sort.Slice(rep.Entries, func(i, j int) bool { return rep.Entries[i].Routers < rep.Entries[j].Routers })
+	small, large := rep.Entries[0], rep.Entries[len(rep.Entries)-1]
+	if small.Routers == large.Routers {
+		return nil, fmt.Errorf("need two distinct fleet sizes, got routers=%d twice", small.Routers)
+	}
+	perSmall := small.NsPerOp / float64(small.Routers)
+	perLarge := large.NsPerOp / float64(large.Routers)
+	rep.ScalingPct = 100 * (perLarge - perSmall) / perSmall
+	return rep, nil
 }
 
 // parseAgg extracts both BenchmarkAggIngest modes and computes the

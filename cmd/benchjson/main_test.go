@@ -200,3 +200,52 @@ func TestParseAggMissingMode(t *testing.T) {
 		t.Fatal("one-sided input accepted; the comparison needs both modes")
 	}
 }
+
+func TestParseFibscan(t *testing.T) {
+	out := `goos: linux
+BenchmarkFIBScan/routers=100-8  	       1	  21270038 ns/op	     10002 atoms	        20.00 cycles	 6444408 B/op	   30301 allocs/op
+BenchmarkFIBScan/routers=1000-8 	       1	 181994282 ns/op	     10002 atoms	        20.00 cycles	46356768 B/op	  190415 allocs/op
+PASS
+`
+	rep, err := parseFibscan(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 2 || rep.Entries[0].Routers != 100 || rep.Entries[1].Routers != 1000 {
+		t.Fatalf("entries = %+v", rep.Entries)
+	}
+	if rep.Entries[1].NsPerOp != 181994282 || rep.Entries[1].Metrics["atoms"] != 10002 {
+		t.Errorf("large entry = %+v", rep.Entries[1])
+	}
+	// Per-router: 212700 vs 181994 ns -> about -14.4% vs linear.
+	if rep.ScalingPct > -14 || rep.ScalingPct < -15 {
+		t.Errorf("scalingPct = %v, want about -14.4", rep.ScalingPct)
+	}
+}
+
+func TestParseFibscanSuperlinear(t *testing.T) {
+	out := `BenchmarkFIBScan/routers=100-8 1 10000000 ns/op
+BenchmarkFIBScan/routers=1000-8 1 200000000 ns/op
+`
+	rep, err := parseFibscan(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100k ns/router vs 200k ns/router: +100% past linear.
+	if rep.ScalingPct < 99 || rep.ScalingPct > 101 {
+		t.Errorf("scalingPct = %v, want ~100", rep.ScalingPct)
+	}
+}
+
+func TestParseFibscanNeedsTwoSizes(t *testing.T) {
+	one := "BenchmarkFIBScan/routers=100-8 1 10000000 ns/op\nPASS\n"
+	if _, err := parseFibscan(strings.NewReader(one)); err == nil {
+		t.Error("single fleet size accepted")
+	}
+	same := `BenchmarkFIBScan/routers=100-8 1 10000000 ns/op
+BenchmarkFIBScan/routers=100-8 1 11000000 ns/op
+`
+	if _, err := parseFibscan(strings.NewReader(same)); err == nil {
+		t.Error("duplicate fleet size accepted")
+	}
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"loopscope/internal/fibscan"
+)
+
+// writeSnaps writes a two-capture snapshot file with injected loops.
+func writeSnaps(t *testing.T) (string, []string) {
+	t.Helper()
+	snap, looped := fibscan.Synthetic(10, 50, 3)
+	s2 := snap
+	s2.TakenNs = int64(100 * time.Millisecond)
+	f := &fibscan.SnapshotFile{
+		Network:   "cli-test",
+		Snapshots: []fibscan.Snapshot{snap, s2},
+	}
+	path := filepath.Join(t.TempDir(), "snaps.json")
+	if err := fibscan.WriteFile(path, f); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	prefixes := make([]string, 0, len(looped))
+	for _, p := range looped {
+		prefixes = append(prefixes, p.String())
+	}
+	return path, prefixes
+}
+
+// writeLoops writes a minimal loopdetect -json style report.
+func writeLoops(t *testing.T, dir string, rows []map[string]any) string {
+	t.Helper()
+	doc := map[string]any{"link": "cli-test", "loops": rows}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "loops.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunText(t *testing.T) {
+	path, prefixes := writeSnaps(t)
+	var buf bytes.Buffer
+	if err := run(&buf, path, "", false, time.Second, 2*time.Second, "none"); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "network: cli-test") || !strings.Contains(out, "snapshots: 2") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	for _, p := range prefixes {
+		if !strings.Contains(out, p) {
+			t.Errorf("looped prefix %s absent from output", p)
+		}
+	}
+	if !strings.Contains(out, "table loops:") {
+		t.Errorf("missing collated section:\n%s", out)
+	}
+}
+
+func TestRunJSONWithDiff(t *testing.T) {
+	path, prefixes := writeSnaps(t)
+	loopPath := writeLoops(t, filepath.Dir(path), []map[string]any{
+		{"prefix": prefixes[0], "startNs": 0, "endNs": int64(50 * time.Millisecond)},
+		{"prefix": "9.9.9.0/24", "startNs": 0, "endNs": 1000}, // trace-only
+	})
+	var buf bytes.Buffer
+	if err := run(&buf, path, loopPath, true, time.Second, 2*time.Second, "none"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc struct {
+		Network   string `json:"network"`
+		Snapshots int    `json:"snapshots"`
+		Reports   []struct {
+			Cycles []struct {
+				Routers []string `json:"routers"`
+			} `json:"cycles"`
+		} `json:"reports"`
+		TableLoops []json.RawMessage `json:"tableLoops"`
+		Diff       struct {
+			Confirmed []json.RawMessage `json:"confirmed"`
+			TableOnly []json.RawMessage `json:"tableOnly"`
+			TraceOnly []struct {
+				Prefix string `json:"prefix"`
+			} `json:"traceOnly"`
+		} `json:"diff"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Network != "cli-test" || doc.Snapshots != 2 || len(doc.Reports) != 2 {
+		t.Errorf("header: %+v", doc)
+	}
+	if len(doc.Reports[0].Cycles) == 0 {
+		t.Errorf("no cycles in JSON report")
+	}
+	if len(doc.Diff.Confirmed) != 1 {
+		t.Errorf("confirmed = %d, want 1", len(doc.Diff.Confirmed))
+	}
+	if len(doc.Diff.TraceOnly) != 1 || doc.Diff.TraceOnly[0].Prefix != "9.9.9.0/24" {
+		t.Errorf("traceOnly = %+v", doc.Diff.TraceOnly)
+	}
+	// All injected loops bounce between the same two hubs, so they
+	// collate into the one confirmed table loop — nothing is left over.
+	if len(doc.Diff.TableOnly) != 0 {
+		t.Errorf("tableOnly = %d, want 0 (single membership merges)", len(doc.Diff.TableOnly))
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	path, prefixes := writeSnaps(t)
+	loopPath := writeLoops(t, filepath.Dir(path), []map[string]any{
+		{"prefix": prefixes[0], "startNs": 0, "endNs": int64(time.Millisecond)},
+	})
+	var a, b bytes.Buffer
+	if err := run(&a, path, loopPath, true, time.Second, 2*time.Second, "none"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, path, loopPath, true, time.Second, 2*time.Second, "none"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("reruns produced different output")
+	}
+}
+
+func TestRunFailOn(t *testing.T) {
+	path, _ := writeSnaps(t)
+	loopPath := writeLoops(t, filepath.Dir(path), []map[string]any{
+		{"prefix": "9.9.9.0/24", "startNs": 0, "endNs": 1000},
+	})
+	var buf bytes.Buffer
+	if err := run(&buf, path, loopPath, false, time.Second, 2*time.Second, "trace-only"); err != errFailOn {
+		t.Errorf("fail-on trace-only: err = %v, want errFailOn", err)
+	}
+	// The injected table loop is unconfirmed by that trace report, so
+	// the table-only bucket gates too.
+	if err := run(&buf, path, loopPath, false, time.Second, 2*time.Second, "table-only"); err != errFailOn {
+		t.Errorf("fail-on table-only: err = %v, want errFailOn", err)
+	}
+	// Buckets only gate when -loops is given.
+	if err := run(&buf, path, "", false, time.Second, 2*time.Second, "trace-only"); err != nil {
+		t.Errorf("fail-on without -loops errored: %v", err)
+	}
+	if err := run(&buf, path, "", false, time.Second, 2*time.Second, "bogus"); err == nil {
+		t.Errorf("bogus -fail-on accepted")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 99, "snapshots": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, bad, "", false, time.Second, 2*time.Second, "none"); err == nil {
+		t.Errorf("bad snapshot file accepted")
+	}
+	path, _ := writeSnaps(t)
+	badLoops := filepath.Join(dir, "loops.json")
+	if err := os.WriteFile(badLoops, []byte(`{"loops": [{"prefix": "not-a-prefix"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, path, badLoops, false, time.Second, 2*time.Second, "none"); err == nil {
+		t.Errorf("bad loops file accepted")
+	}
+}

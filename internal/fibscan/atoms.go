@@ -1,0 +1,332 @@
+package fibscan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"loopscope/internal/routing"
+)
+
+// Sentinel next-hop codes in the atom × router forwarding matrix.
+// Non-negative values index Snapshot.Routers.
+const (
+	nhDrop  int32 = -1 // no route, or next hop outside the snapshot
+	nhLocal int32 = -2 // locally delivered: terminal, never part of a loop
+)
+
+// Scan partitions the destination address space into header-space
+// atoms and reports every forwarding cycle in the snapshot. It never
+// panics on degraded input: unknown next hops, missing routers and
+// duplicate names degrade the scan and surface in Report.Warnings.
+func Scan(s *Snapshot) *Report {
+	rep := &Report{TakenNs: s.TakenNs, Routers: len(s.Routers)}
+	if len(s.Routers) == 0 {
+		return rep
+	}
+
+	// Router name → index. Duplicates keep the first occurrence: the
+	// scan must not guess which table is current.
+	idx := make(map[string]int32, len(s.Routers))
+	for i := range s.Routers {
+		name := s.Routers[i].Name
+		if _, dup := idx[name]; dup {
+			rep.warnf("duplicate router %q in snapshot; keeping the first", name)
+			continue
+		}
+		idx[name] = int32(i)
+	}
+
+	// Atom boundaries: the endpoints of every prefix in every table.
+	// Within an interval that crosses no prefix boundary, every
+	// router's LPM result is constant, so these intervals ARE the
+	// atoms (modulo merging equal-behaviour neighbours, which the
+	// cycle accumulator does per cycle).
+	bounds := collectBounds(s)
+	atoms := len(bounds) - 1
+	rep.Atoms = atoms
+
+	// next[r*atoms+a] is router r's forwarding decision on atom a.
+	R := len(s.Routers)
+	next := make([]int32, R*atoms)
+	for i := range next {
+		next[i] = nhDrop
+	}
+	missing := make(map[string]bool)
+	for r := range s.Routers {
+		fillRouter(&s.Routers[r], idx, bounds, next[r*atoms:(r+1)*atoms], missing)
+	}
+	for _, name := range sortedKeys(missing) {
+		rep.warnf("next hop %q is not in the snapshot; treating its routes as exits (degraded scan)", name)
+	}
+
+	// Per-atom cycle extraction over the functional graph.
+	acc := newCycleAccumulator(bounds)
+	seen := make([]int32, R)   // last atom that fully processed the router
+	onPath := make([]int32, R) // walk id currently holding the router
+	pathPos := make([]int32, R)
+	for i := range seen {
+		seen[i] = -1
+		onPath[i] = -1
+	}
+	path := make([]int32, 0, R)
+	walkID := int32(-1)
+	for a := 0; a < atoms; a++ {
+		for start := 0; start < R; start++ {
+			if seen[start] == int32(a) {
+				continue
+			}
+			walkID++
+			path = path[:0]
+			cur := int32(start)
+			for cur >= 0 && seen[cur] != int32(a) {
+				if onPath[cur] == walkID {
+					// Closed a cycle: the tail of path from cur's
+					// position is the loop, in forwarding order.
+					acc.record(a, path[pathPos[cur]:])
+					break
+				}
+				onPath[cur] = walkID
+				pathPos[cur] = int32(len(path))
+				path = append(path, cur)
+				cur = next[int(cur)*atoms+a]
+			}
+			for _, r := range path {
+				seen[r] = int32(a)
+			}
+		}
+	}
+
+	rep.Cycles = acc.finish(s)
+	return rep
+}
+
+// warnf appends a formatted warning to the report.
+func (r *Report) warnf(format string, args ...any) {
+	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+}
+
+// collectBounds returns the sorted, deduplicated atom boundaries:
+// every prefix endpoint in every router's FIB and local table, plus
+// the ends of the address space.
+func collectBounds(s *Snapshot) []uint64 {
+	set := make(map[uint64]struct{}, 64)
+	set[0] = struct{}{}
+	set[1<<32] = struct{}{}
+	add := func(p routing.Prefix) {
+		lo, hi := p.Range()
+		set[lo] = struct{}{}
+		set[hi] = struct{}{}
+	}
+	for i := range s.Routers {
+		for _, rt := range s.Routers[i].Routes {
+			add(rt.Prefix)
+		}
+		for _, p := range s.Routers[i].Locals {
+			add(p)
+		}
+	}
+	bounds := make([]uint64, 0, len(set))
+	for b := range set {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	return bounds
+}
+
+// fillRouter computes one router's forwarding decision per atom into
+// col (length = number of atoms). The FIB is flattened once through
+// RangeWalk; locals are painted last because local delivery wins over
+// any FIB match.
+func fillRouter(rf *RouterFIB, idx map[string]int32, bounds []uint64, col []int32, missing map[string]bool) {
+	tab := routing.NewTable[int32]()
+	for _, rt := range rf.Routes {
+		nh, ok := idx[rt.NextHop]
+		if !ok {
+			missing[rt.NextHop] = true
+			nh = nhDrop
+		}
+		tab.Insert(rt.Prefix, nh)
+	}
+	// Align the flattened function on the atom partition. A RangeWalk
+	// segment can span several atoms (all with its value, since value
+	// changes only occur on this router's own prefix boundaries, all
+	// of which are atom boundaries) and an atom can span several
+	// segments (all with equal values, for the same reason), so a
+	// two-pointer merge suffices.
+	ai := 0
+	tab.RangeWalk(func(lo, hi uint64, v int32, ok bool) bool {
+		if !ok {
+			// Uncovered space stays nhDrop; advance past it.
+			for ai < len(col) && bounds[ai+1] <= hi {
+				ai++
+			}
+			return true
+		}
+		for ai < len(col) && bounds[ai] < hi {
+			col[ai] = v
+			if bounds[ai+1] > hi {
+				break // atom continues into the next segment
+			}
+			ai++
+		}
+		return true
+	})
+	for _, p := range rf.Locals {
+		lo, hi := p.Range()
+		a := sort.Search(len(bounds), func(i int) bool { return bounds[i] >= lo })
+		for ; a < len(col) && bounds[a] < hi; a++ {
+			col[a] = nhLocal
+		}
+	}
+}
+
+// cycleAccumulator merges per-atom cycle sightings into Cycle values:
+// the same membership seen on adjacent atoms extends a range, and
+// ranges/prefix sets are finalised once the sweep completes.
+type cycleAccumulator struct {
+	bounds []uint64
+	byKey  map[string]*cycleAcc
+	order  []string // insertion order for deterministic output
+}
+
+type cycleAcc struct {
+	routers []int32
+	ranges  []AddrRange
+}
+
+func newCycleAccumulator(bounds []uint64) *cycleAccumulator {
+	return &cycleAccumulator{bounds: bounds, byKey: make(map[string]*cycleAcc)}
+}
+
+// record notes that atom a forwards around cycle (router indices in
+// forwarding order). The slice aliases the walk path and is copied.
+func (ca *cycleAccumulator) record(a int, cycle []int32) {
+	// Canonical rotation: smallest router index first, order kept.
+	minAt := 0
+	for i := 1; i < len(cycle); i++ {
+		if cycle[i] < cycle[minAt] {
+			minAt = i
+		}
+	}
+	canon := make([]int32, 0, len(cycle))
+	canon = append(canon, cycle[minAt:]...)
+	canon = append(canon, cycle[:minAt]...)
+
+	var sb strings.Builder
+	for _, r := range canon {
+		fmt.Fprintf(&sb, "%d,", r)
+	}
+	key := sb.String()
+	acc, ok := ca.byKey[key]
+	if !ok {
+		acc = &cycleAcc{routers: canon}
+		ca.byKey[key] = acc
+		ca.order = append(ca.order, key)
+	}
+	lo, hi := ca.bounds[a], ca.bounds[a+1]
+	if n := len(acc.ranges); n > 0 && acc.ranges[n-1].hi == lo {
+		acc.ranges[n-1].hi = hi
+	} else {
+		acc.ranges = append(acc.ranges, AddrRange{lo: lo, hi: hi})
+	}
+}
+
+// finish materialises the accumulated cycles: names resolved, affected
+// prefixes attached, deterministic order (first affected address, then
+// membership).
+func (ca *cycleAccumulator) finish(s *Snapshot) []Cycle {
+	if len(ca.byKey) == 0 {
+		return nil
+	}
+	out := make([]Cycle, 0, len(ca.byKey))
+	for _, key := range ca.order {
+		acc := ca.byKey[key]
+		c := Cycle{
+			Routers: make([]string, len(acc.routers)),
+			Ranges:  acc.ranges,
+		}
+		for i, r := range acc.routers {
+			c.Routers[i] = s.Routers[r].Name
+		}
+		// Affected prefixes: entries in the cycle members' own FIBs —
+		// the routes steering traffic around the loop — whose range
+		// intersects the looping space. An ingress default route
+		// elsewhere also reaches the loop, but it does not define it.
+		for _, p := range memberPrefixes(s, acc.routers) {
+			plo, phi := p.Range()
+			for _, rg := range c.Ranges {
+				if plo < rg.hi && rg.lo < phi {
+					c.Prefixes = append(c.Prefixes, p)
+					break
+				}
+			}
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Ranges[0].lo != b.Ranges[0].lo {
+			return a.Ranges[0].lo < b.Ranges[0].lo
+		}
+		return strings.Join(a.Routers, ",") < strings.Join(b.Routers, ",")
+	})
+	return out
+}
+
+// memberPrefixes returns every distinct FIB prefix across the given
+// routers, sorted by range start then by length.
+func memberPrefixes(s *Snapshot, routers []int32) []routing.Prefix {
+	set := make(map[routing.Prefix]struct{})
+	for _, r := range routers {
+		for _, rt := range s.Routers[r].Routes {
+			set[rt.Prefix] = struct{}{}
+		}
+	}
+	out := make([]routing.Prefix, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, _ := out[i].Range()
+		aj, _ := out[j].Range()
+		if ai != aj {
+			return ai < aj
+		}
+		return out[i].Bits < out[j].Bits
+	})
+	return out
+}
+
+// sortedKeys returns the map's keys in sorted order, for deterministic
+// warning output.
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ScanTimeline scans a sequence of snapshots, reusing the scan result
+// when consecutive snapshots carry identical revision stamps (a
+// periodic capture of an idle network costs one scan, not many).
+// Reports are returned in input order with their own capture times.
+func ScanTimeline(snaps []Snapshot) []*Report {
+	out := make([]*Report, len(snaps))
+	var lastKey string
+	var last *Report
+	for i := range snaps {
+		key := snaps[i].revisionKey()
+		if last != nil && key == lastKey {
+			clone := *last
+			clone.TakenNs = snaps[i].TakenNs
+			out[i] = &clone
+			continue
+		}
+		out[i] = Scan(&snaps[i])
+		last, lastKey = out[i], key
+	}
+	return out
+}

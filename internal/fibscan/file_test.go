@@ -1,0 +1,95 @@
+package fibscan
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"loopscope/internal/routing"
+)
+
+func sampleFile() *SnapshotFile {
+	return &SnapshotFile{
+		Version: FileVersion,
+		Network: "test-net",
+		Snapshots: []Snapshot{
+			{
+				TakenNs: 1_000_000,
+				Routers: []RouterFIB{
+					{
+						Name:     "r1",
+						Revision: 3,
+						Routes: []Route{
+							{Prefix: routing.MustParsePrefix("10.0.0.0/8"), NextHop: "r2"},
+							{Prefix: routing.MustParsePrefix("10.1.0.0/16"), NextHop: "r3"},
+						},
+						Locals: []routing.Prefix{routing.MustParsePrefix("192.0.2.0/24")},
+					},
+					{Name: "r2", Revision: 1},
+				},
+			},
+			{
+				TakenNs: 2_000_000,
+				Routers: []RouterFIB{{Name: "r1", Revision: 4}},
+			},
+		},
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Errorf("round trip mismatch:\nwrote %+v\nread  %+v", f, got)
+	}
+}
+
+func TestSnapshotFileDiskRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snaps.json")
+	f := sampleFile()
+	if err := WriteFile(path, f); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Errorf("disk round trip mismatch")
+	}
+}
+
+func TestSnapshotFileRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"wrong version":   `{"version": 99, "snapshots": []}`,
+		"unknown field":   `{"version": 1, "snapshots": [], "bogus": true}`,
+		"out of order":    `{"version": 1, "snapshots": [{"takenNs": 5, "routers": []}, {"takenNs": 1, "routers": []}]}`,
+		"malformed json":  `{"version": 1`,
+		"bad prefix text": `{"version": 1, "snapshots": [{"takenNs": 1, "routers": [{"name": "a", "revision": 1, "routes": [{"prefix": "10.0.0.0/99", "nextHop": "b"}]}]}]}`,
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decode accepted invalid input", name)
+		}
+	}
+}
+
+func TestEncodeDefaultsVersion(t *testing.T) {
+	f := &SnapshotFile{Snapshots: []Snapshot{}}
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if f.Version != FileVersion {
+		t.Errorf("Version = %d after Encode", f.Version)
+	}
+}

@@ -1,0 +1,30 @@
+package fibscan
+
+import "loopscope/internal/netsim"
+
+// FromNetsim converts a simulator FIB snapshot into the analyzer's
+// self-contained snapshot model.
+func FromNetsim(fs netsim.FIBSnapshot) Snapshot {
+	s := Snapshot{TakenNs: int64(fs.At)}
+	s.Routers = make([]RouterFIB, 0, len(fs.Routers))
+	for i := range fs.Routers {
+		src := &fs.Routers[i]
+		rf := RouterFIB{
+			Name:     src.Name,
+			Revision: src.Revision,
+			Locals:   src.Locals,
+		}
+		rf.Routes = make([]Route, 0, len(src.Routes))
+		for _, e := range src.Routes {
+			rf.Routes = append(rf.Routes, Route{Prefix: e.Prefix, NextHop: e.Value})
+		}
+		s.Routers = append(s.Routers, rf)
+	}
+	return s
+}
+
+// FromNetwork captures and converts the network's current FIB state in
+// one call.
+func FromNetwork(n *netsim.Network) Snapshot {
+	return FromNetsim(n.SnapshotFIBs())
+}

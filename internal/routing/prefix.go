@@ -46,6 +46,29 @@ func NewPrefix(addr packet.Addr, bits int) Prefix {
 // addr.
 func PrefixOf(addr packet.Addr, bits int) Prefix { return NewPrefix(addr, bits) }
 
+// Range returns the half-open address interval [lo, hi) the prefix
+// covers, as uint64 so a /0's upper bound (2^32) is representable.
+func (p Prefix) Range() (lo, hi uint64) {
+	lo = uint64(p.Addr.Uint32())
+	return lo, lo + 1<<(32-p.Bits)
+}
+
+// MarshalText encodes the prefix in CIDR notation, making Prefix
+// usable directly in JSON documents (including as a map key).
+func (p Prefix) MarshalText() ([]byte, error) {
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText parses CIDR notation, the inverse of MarshalText.
+func (p *Prefix) UnmarshalText(text []byte) error {
+	q, err := ParsePrefix(string(text))
+	if err != nil {
+		return err
+	}
+	*p = q
+	return nil
+}
+
 // Contains reports whether addr falls inside the prefix.
 func (p Prefix) Contains(addr packet.Addr) bool {
 	return addr.Uint32()&mask(p.Bits) == p.Addr.Uint32()

@@ -1,0 +1,201 @@
+package routing
+
+import (
+	"encoding/json"
+	"testing"
+
+	"loopscope/internal/packet"
+)
+
+// segment is one RangeWalk emission, for assertions.
+type segment struct {
+	lo, hi uint64
+	v      string
+	ok     bool
+}
+
+func collect(t *testing.T, tab *Table[string]) []segment {
+	t.Helper()
+	var segs []segment
+	var cursor uint64
+	tab.RangeWalk(func(lo, hi uint64, v string, ok bool) bool {
+		if lo != cursor {
+			t.Fatalf("range [%d,%d) leaves gap after %d", lo, hi, cursor)
+		}
+		if hi <= lo {
+			t.Fatalf("empty or inverted range [%d,%d)", lo, hi)
+		}
+		cursor = hi
+		segs = append(segs, segment{lo, hi, v, ok})
+		return true
+	})
+	if cursor != 1<<32 {
+		t.Fatalf("walk covered up to %d, want 2^32", cursor)
+	}
+	return segs
+}
+
+// lookupAt is the reference point query RangeWalk must agree with.
+func lookupAt(tab *Table[string], a uint64) (string, bool) {
+	v, _, ok := tab.Lookup(packet.AddrFromUint32(uint32(a)))
+	return v, ok
+}
+
+// checkAgainstLookup verifies every emitted segment against Lookup at
+// its endpoints and midpoint.
+func checkAgainstLookup(t *testing.T, tab *Table[string], segs []segment) {
+	t.Helper()
+	for _, s := range segs {
+		for _, a := range []uint64{s.lo, s.lo + (s.hi-s.lo)/2, s.hi - 1} {
+			v, ok := lookupAt(tab, a)
+			if v != s.v || ok != s.ok {
+				t.Errorf("addr %v: segment says (%q,%v), Lookup says (%q,%v)",
+					packet.AddrFromUint32(uint32(a)), s.v, s.ok, v, ok)
+			}
+		}
+	}
+}
+
+func TestRangeWalkEmpty(t *testing.T) {
+	tab := NewTable[string]()
+	segs := collect(t, tab)
+	if len(segs) != 1 || segs[0].ok {
+		t.Fatalf("empty table: got %v, want one uncovered range", segs)
+	}
+}
+
+func TestRangeWalkDefaultOnly(t *testing.T) {
+	tab := NewTable[string]()
+	tab.Insert(MustParsePrefix("0.0.0.0/0"), "gw")
+	segs := collect(t, tab)
+	if len(segs) != 1 || !segs[0].ok || segs[0].v != "gw" {
+		t.Fatalf("default-only table: got %v", segs)
+	}
+}
+
+// Nested prefixes: the more specific must carve a hole out of the less
+// specific, with the covering value restored on both sides.
+func TestRangeWalkNested(t *testing.T) {
+	tab := NewTable[string]()
+	tab.Insert(MustParsePrefix("10.0.0.0/8"), "coarse")
+	tab.Insert(MustParsePrefix("10.64.0.0/16"), "fine")
+	tab.Insert(MustParsePrefix("10.64.128.0/24"), "finest")
+	segs := collect(t, tab)
+	checkAgainstLookup(t, tab, segs)
+
+	// Spot-check the three tiers directly.
+	for _, tc := range []struct {
+		addr string
+		want string
+	}{
+		{"10.1.2.3", "coarse"},
+		{"10.64.0.9", "fine"},
+		{"10.64.128.77", "finest"},
+		{"10.64.129.0", "fine"},
+		{"10.65.0.0", "coarse"},
+	} {
+		v, ok := lookupAt(tab, uint64(packet.MustParseAddr(tc.addr).Uint32()))
+		if !ok || v != tc.want {
+			t.Errorf("%s: got (%q,%v), want %q", tc.addr, v, ok, tc.want)
+		}
+	}
+}
+
+// Adjacent prefixes: contiguous same-length siblings must abut with no
+// gap and no overlap, and a boundary between different values must be
+// exactly the prefix boundary.
+func TestRangeWalkAdjacent(t *testing.T) {
+	tab := NewTable[string]()
+	tab.Insert(MustParsePrefix("192.168.0.0/24"), "a")
+	tab.Insert(MustParsePrefix("192.168.1.0/24"), "b")
+	segs := collect(t, tab)
+	checkAgainstLookup(t, tab, segs)
+
+	loA, hiA := MustParsePrefix("192.168.0.0/24").Range()
+	loB, hiB := MustParsePrefix("192.168.1.0/24").Range()
+	if hiA != loB {
+		t.Fatalf("adjacent /24s do not abut: %d vs %d", hiA, loB)
+	}
+	var sawA, sawB bool
+	for _, s := range segs {
+		if s.lo == loA && s.hi == hiA && s.v == "a" && s.ok {
+			sawA = true
+		}
+		if s.lo == loB && s.hi == hiB && s.v == "b" && s.ok {
+			sawB = true
+		}
+		// No segment may straddle the a/b boundary with a single value.
+		if s.lo < hiA && s.hi > loB && s.ok {
+			if s.lo < loA || s.hi > hiB {
+				t.Errorf("segment [%d,%d) straddles covered and uncovered space", s.lo, s.hi)
+			}
+		}
+	}
+	if !sawA || !sawB {
+		t.Fatalf("adjacent prefixes not emitted as their own ranges: %v", segs)
+	}
+}
+
+// A host route must be walkable at full depth.
+func TestRangeWalkHostRoute(t *testing.T) {
+	tab := NewTable[string]()
+	tab.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	tab.Insert(MustParsePrefix("203.0.113.7/32"), "host")
+	segs := collect(t, tab)
+	checkAgainstLookup(t, tab, segs)
+	lo, hi := MustParsePrefix("203.0.113.7/32").Range()
+	if hi != lo+1 {
+		t.Fatalf("host route range [%d,%d)", lo, hi)
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	for _, tc := range []struct {
+		in     string
+		lo, hi uint64
+	}{
+		{"0.0.0.0/0", 0, 1 << 32},
+		{"128.0.0.0/1", 1 << 31, 1 << 32},
+		{"10.0.0.0/8", 0x0A000000, 0x0B000000},
+		{"255.255.255.255/32", 0xFFFFFFFF, 1 << 32},
+	} {
+		lo, hi := MustParsePrefix(tc.in).Range()
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("%s: Range() = [%d,%d), want [%d,%d)", tc.in, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestPrefixJSONRoundTrip(t *testing.T) {
+	in := MustParsePrefix("198.51.100.0/24")
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"198.51.100.0/24"` {
+		t.Fatalf("marshalled %s", b)
+	}
+	var out Prefix
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %v != %v", out, in)
+	}
+	if err := json.Unmarshal([]byte(`"not-a-prefix"`), &out); err == nil {
+		t.Fatal("bad prefix accepted")
+	}
+	// Usable as a JSON map key.
+	m := map[Prefix]int{in: 3}
+	b, err = json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[Prefix]int
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[in] != 3 {
+		t.Fatalf("map round trip: %v", back)
+	}
+}
