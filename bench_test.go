@@ -26,6 +26,7 @@ import (
 	"loopscope/internal/netsim"
 	"loopscope/internal/obs"
 	"loopscope/internal/obs/flight"
+	"loopscope/internal/obs/provenance"
 	"loopscope/internal/packet"
 	"loopscope/internal/routing"
 	"loopscope/internal/scenario"
@@ -657,6 +658,55 @@ func BenchmarkAnalyticsIngest(b *testing.B) {
 				b.ReportMetric(float64(ingested)/float64(b.N), "analytics_loops/op")
 				_ = loops
 			}
+		})
+	}
+}
+
+// BenchmarkProvenanceStamp measures the pipeline-provenance tax the
+// same way BenchmarkObsOverhead measures metrics: mode=noop runs the
+// streaming pipeline with an emit callback that only counts loops
+// (the nil-record, allocation-free stamp path), and mode=stamping
+// performs the full per-event hop work the daemon does — the
+// detect/publish/journal stamp chain plus the copy-on-write webhook
+// divergence — per emitted loop. CI extracts both into BENCH_obs.json
+// (cmd/benchjson -mode obs) under the shared 5% regression budget, so
+// "provenance rides every event for free" stays a tested property.
+func BenchmarkProvenanceStamp(b *testing.B) {
+	recs := parallelBenchTrace()
+	for _, mode := range []string{"noop", "stamping"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			b.ReportAllocs()
+			stamping := mode == "stamping"
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				seq := 0
+				emit := func(l *core.Loop) { seq++ }
+				if stamping {
+					emit = func(l *core.Loop) {
+						seq++
+						var r *provenance.Record
+						r = r.Stamp(provenance.HopDetected, provenance.Now())
+						r = r.Stamp(provenance.HopPublished, provenance.Now())
+						r = r.Stamp(provenance.HopJournaled, provenance.Now())
+						w := r.Stamp(provenance.HopWebhookSent, provenance.Now())
+						sink += w.WebhookSentNs - r.DetectedNs
+					}
+				}
+				e, err := core.New(core.DefaultConfig(), core.WithStreaming(emit))
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := trace.NewSliceSource(trace.Meta{Link: "bench"}, recs)
+				res, err := core.RunMetered(e, src, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalPackets != len(recs) {
+					b.Fatalf("engine saw %d of %d records", res.TotalPackets, len(recs))
+				}
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			_ = sink
 		})
 	}
 }

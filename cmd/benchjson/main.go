@@ -82,6 +82,12 @@ var flightLine = regexp.MustCompile(
 var analyticsLine = regexp.MustCompile(
 	`^BenchmarkAnalyticsIngest/mode=(\w+)\S*\s+\d+\s+([\d.]+) ns/op(.*)`)
 
+// provLine matches one pipeline-provenance result, e.g.
+//
+//	BenchmarkProvenanceStamp/mode=stamping-8  1  3362706716 ns/op  598861 records/s
+var provLine = regexp.MustCompile(
+	`^BenchmarkProvenanceStamp/mode=(\w+)\S*\s+\d+\s+([\d.]+) ns/op(.*)`)
+
 // aggLine matches one fleet-aggregator ingest result, e.g.
 //
 //	BenchmarkAggIngest/mode=fresh-8  50  4383682 ns/op  1024 fleet_loops  233609 obs/s
@@ -111,6 +117,7 @@ type obsReport struct {
 	Instrumented map[string]float64 `json:"instrumented"`
 	Flight       *flightReport      `json:"flight,omitempty"`
 	Analytics    *analyticsReport   `json:"analytics,omitempty"`
+	Provenance   *provReport        `json:"provenance,omitempty"`
 }
 
 // flightReport compares BenchmarkFlightRecorder's modes: the pipeline
@@ -133,6 +140,18 @@ type analyticsReport struct {
 	RegressPct       float64            `json:"regressPct"`
 	Noop             map[string]float64 `json:"noop"`
 	Ingesting        map[string]float64 `json:"ingesting"`
+}
+
+// provReport compares BenchmarkProvenanceStamp's modes: the streaming
+// pipeline with a counting-only emit callback versus the full
+// per-event hop-stamp chain (detect/publish/journal plus the webhook
+// copy-on-write divergence).
+type provReport struct {
+	NoopNsPerOp     float64            `json:"noopNsPerOp"`
+	StampingNsPerOp float64            `json:"stampingNsPerOp"`
+	RegressPct      float64            `json:"regressPct"`
+	Noop            map[string]float64 `json:"noop"`
+	Stamping        map[string]float64 `json:"stamping"`
 }
 
 func main() {
@@ -199,6 +218,10 @@ func mainObs(out string, maxRegress float64) {
 		fmt.Printf("analytics: noop %.0f ns/op, ingesting %.0f ns/op: %+.2f%% overhead\n",
 			rep.Analytics.NoopNsPerOp, rep.Analytics.IngestingNsPerOp, rep.Analytics.RegressPct)
 	}
+	if rep.Provenance != nil {
+		fmt.Printf("provenance: noop %.0f ns/op, stamping %.0f ns/op: %+.2f%% overhead\n",
+			rep.Provenance.NoopNsPerOp, rep.Provenance.StampingNsPerOp, rep.Provenance.RegressPct)
+	}
 	if maxRegress >= 0 && rep.RegressPct > maxRegress {
 		fmt.Fprintf(os.Stderr, "benchjson: instrumentation overhead %.2f%% exceeds the %.2f%% budget\n",
 			rep.RegressPct, maxRegress)
@@ -212,6 +235,11 @@ func mainObs(out string, maxRegress float64) {
 	if maxRegress >= 0 && rep.Analytics != nil && rep.Analytics.RegressPct > maxRegress {
 		fmt.Fprintf(os.Stderr, "benchjson: analytics-ingest overhead %.2f%% exceeds the %.2f%% budget\n",
 			rep.Analytics.RegressPct, maxRegress)
+		os.Exit(1)
+	}
+	if maxRegress >= 0 && rep.Provenance != nil && rep.Provenance.RegressPct > maxRegress {
+		fmt.Fprintf(os.Stderr, "benchjson: provenance-stamping overhead %.2f%% exceeds the %.2f%% budget\n",
+			rep.Provenance.RegressPct, maxRegress)
 		os.Exit(1)
 	}
 }
@@ -410,6 +438,7 @@ func parseObs(r io.Reader) (*obsReport, error) {
 	rep := &obsReport{}
 	var fl flightReport
 	var an analyticsReport
+	var pv provReport
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
@@ -450,6 +479,19 @@ func parseObs(r io.Reader) (*obsReport, error) {
 			case "ingesting":
 				an.IngestingNsPerOp, an.Ingesting = nsPerOp, metrics
 			}
+			continue
+		}
+		if m := provLine.FindStringSubmatch(line); m != nil {
+			nsPerOp, metrics, err := parseBenchResult(line, m)
+			if err != nil {
+				return nil, err
+			}
+			switch m[1] {
+			case "noop":
+				pv.NoopNsPerOp, pv.Noop = nsPerOp, metrics
+			case "stamping":
+				pv.StampingNsPerOp, pv.Stamping = nsPerOp, metrics
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -475,6 +517,14 @@ func parseObs(r io.Reader) (*obsReport, error) {
 		}
 		an.RegressPct = 100 * (an.IngestingNsPerOp - an.NoopNsPerOp) / an.NoopNsPerOp
 		rep.Analytics = &an
+	}
+	if pv.Noop != nil || pv.Stamping != nil {
+		if pv.Noop == nil || pv.Stamping == nil {
+			return nil, fmt.Errorf("need both BenchmarkProvenanceStamp modes on stdin (noop: %v, stamping: %v)",
+				pv.Noop != nil, pv.Stamping != nil)
+		}
+		pv.RegressPct = 100 * (pv.StampingNsPerOp - pv.NoopNsPerOp) / pv.NoopNsPerOp
+		rep.Provenance = &pv
 	}
 	return rep, nil
 }

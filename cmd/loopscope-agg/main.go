@@ -7,9 +7,12 @@
 // the correlated fleet view:
 //
 //	GET /api/v1/fleet/loops     deduplicated loops with per-vantage evidence
-//	GET /api/v1/fleet/vantages  per-daemon standing (transports, lag, cursor)
+//	GET /api/v1/fleet/vantages  per-daemon standing (transports, lag, cursor, clock skew)
 //	GET /api/v1/fleet/stats     fleet-wide loop statistics (mergeable sketches)
+//	GET /api/v1/fleet/latency   per-(pipeline segment, vantage) provenance latency table
 //	GET /api/v1/health          liveness and fleet totals
+//	GET /statusz                human status page: vantage health, cursor lag,
+//	                            pipeline-stage latency breakdowns with exemplar links
 //
 // Two observations correlate into one fleet loop when their
 // destination prefixes agree after aggregation to -agg-bits, their
@@ -18,8 +21,10 @@
 //
 // Accepted observations are journaled (append-only JSONL, torn tails
 // quarantined) before they mutate state, so kill -9 at any point
-// restarts into the same fleet loop set; pull cursors are
-// checkpointed atomically and are safe to lose (refetches dedup).
+// restarts into the same fleet loop set — and, because provenance
+// close-out reads only journaled stamps, the same pipeline-latency
+// sketches byte for byte; pull cursors are checkpointed atomically
+// and are safe to lose (refetches dedup).
 //
 // Usage:
 //
@@ -139,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		logger.Info("serving fleet API", "url", "http://"+srv.Addr()+"/",
-			"endpoints", "api/v1/{health,ingest,fleet/loops,fleet/vantages,fleet/stats} metrics")
+			"endpoints", "api/v1/{health,ingest,fleet/loops,fleet/vantages,fleet/stats,fleet/latency} statusz metrics")
 	}
 
 	// SIGTERM/SIGINT trigger one graceful stop; a second signal kills.

@@ -18,6 +18,11 @@
 //	lsq -addr … fleet loops [-limit n] [-prefix p]
 //	lsq -addr … fleet vantages
 //	lsq -addr … fleet stats [-window 1h] [-vantage v] [-metric duration]
+//	lsq -addr … fleet latency [-vantage v] [-segment s] [-json]
+//
+// fleet latency is the one subcommand that defaults to a human table
+// (per-segment pipeline latency quantiles per vantage); -json restores
+// the raw document for scripting.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"text/tabwriter"
 	"time"
 
 	"loopscope/pkg/loopscope"
@@ -76,6 +82,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsq:", err)
 		os.Exit(1)
+	}
+	// A nil result means the subcommand already wrote its own (human)
+	// rendering to stdout — fleet latency's table mode.
+	if out == nil {
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -148,8 +159,49 @@ func runFleet(ctx context.Context, c *loopscope.Client, args []string) (any, err
 		metric := fs.String("metric", "", "single metric (duration, ttl_delta, streams, replicas, escape_delay)")
 		fs.Parse(rest)
 		return c.FleetStats(ctx, loopscope.FleetStatsQuery{Window: *window, Vantage: *vantage, Metric: *metric})
+	case "latency":
+		fs := flag.NewFlagSet("fleet latency", flag.ExitOnError)
+		vantage := fs.String("vantage", "", "only this vantage's pipeline latencies")
+		segment := fs.String("segment", "", "single pipeline segment (e.g. detect_cluster)")
+		asJSON := fs.Bool("json", false, "print the raw latency document instead of a table")
+		fs.Parse(rest)
+		fl, err := c.FleetLatency(ctx, loopscope.FleetLatencyQuery{Vantage: *vantage, Segment: *segment})
+		if err != nil {
+			return nil, err
+		}
+		if *asJSON {
+			return fl, nil
+		}
+		printLatencyTable(fl)
+		return nil, nil
 	default:
-		return nil, fmt.Errorf("unknown fleet subcommand %q (want loops, vantages or stats)", sub)
+		return nil, fmt.Errorf("unknown fleet subcommand %q (want loops, vantages, stats or latency)", sub)
+	}
+}
+
+// printLatencyTable renders the latency document as a human table:
+// one row per (pipeline segment, vantage), quantiles as durations,
+// the slowest exemplar as an event/trail ID an operator can feed to
+// `lsq trace` against the originating daemon.
+func printLatencyTable(fl *loopscope.FleetLatency) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "SEGMENT\tVANTAGE\tCOUNT\tCLAMPED\tP50\tP90\tP99\tSLOWEST")
+	for _, row := range fl.Segments {
+		slowest := ""
+		if len(row.Exemplars) > 0 {
+			e := row.Exemplars[0]
+			slowest = fmt.Sprintf("%s (%s)", e.EventID, time.Duration(e.Ns).Round(time.Microsecond))
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%s\t%s\t%s\n",
+			row.Segment, row.Vantage, row.Count, row.Clamped,
+			time.Duration(row.Quantiles["p50"]).Round(time.Microsecond),
+			time.Duration(row.Quantiles["p90"]).Round(time.Microsecond),
+			time.Duration(row.Quantiles["p99"]).Round(time.Microsecond),
+			slowest)
+	}
+	w.Flush()
+	if len(fl.Segments) == 0 {
+		fmt.Println("no provenance-carrying observations yet")
 	}
 }
 

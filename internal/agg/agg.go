@@ -41,6 +41,7 @@ import (
 
 	"loopscope/internal/analytics"
 	"loopscope/internal/obs"
+	"loopscope/internal/obs/provenance"
 	"loopscope/internal/resil"
 	"loopscope/internal/routing"
 	"loopscope/pkg/loopscope"
@@ -140,6 +141,14 @@ type vantageState struct {
 	cursor       int64
 	pollErrs     int64
 	lastErr      string
+	// skewNs is the running minimum of (arrival stamp − publish
+	// stamp) over provenance-carrying observations: transport latency
+	// plus clock offset, so the minimum over many events approaches
+	// the offset itself. Negative means the vantage's clock runs ahead
+	// of the aggregator's. Derived purely from journaled values, so
+	// replay reproduces it.
+	skewNs      int64
+	skewSamples int64
 }
 
 // Aggregator is the fleet-correlation state machine. Safe for
@@ -151,6 +160,10 @@ type Aggregator struct {
 	now func() time.Time
 
 	stats *analytics.Collector
+	// latency holds the per-(pipeline segment, vantage) provenance
+	// sketches; fed under a.mu by applyLocked, so replay rebuilds it
+	// deterministically alongside the cluster set.
+	latency *analytics.LatencyStore
 
 	mu       sync.Mutex
 	seen     map[string]struct{} // vantage\x00eventID
@@ -197,6 +210,7 @@ func New(cfg Config) (*Aggregator, error) {
 		log:         log,
 		now:         now,
 		stats:       analytics.NewCollector(analytics.Options{Now: now}),
+		latency:     analytics.NewLatencyStore(),
 		seen:        make(map[string]struct{}),
 		byKey:       make(map[string][]*cluster),
 		vantages:    make(map[string]*vantageState),
@@ -321,6 +335,7 @@ func (a *Aggregator) applyLocked(o Observation) {
 	if o.ReceivedAtNs > vs.lastSeenNs {
 		vs.lastSeenNs = o.ReceivedAtNs
 	}
+	a.closeOutProvenanceLocked(&o, vs)
 	a.correlateLocked(o)
 	a.stats.RecordLoop(o.Vantage, analytics.LoopObs{
 		ID:         o.Vantage + "\x00" + o.Event.ID,
@@ -333,6 +348,48 @@ func (a *Aggregator) applyLocked(o Observation) {
 	a.cfg.Metrics.Counter(obs.LabelMetric(obs.MetricAggObservations, "vantage", o.Vantage)).Inc()
 	a.gFleetLoops.Set(int64(len(a.clusters)))
 	a.gVantages.Set(int64(len(a.vantages)))
+}
+
+// closeOutProvenanceLocked finishes an observation's hop record and
+// feeds the latency sketches. The ingested and clustered stamps are
+// both the journaled arrival stamp (clustering is synchronous under
+// the ingest lock), so the close-out is a pure function of journaled
+// data — a replay reproduces every sketch byte for byte without
+// reading a clock. Negative cross-process deltas (vantage clock ahead
+// of the aggregator) are clamped to zero, counted in
+// loopscope_provenance_skew_total, and kept out of the sketches; the
+// per-vantage skew estimate tracks the running minimum offset so the
+// vantage listing can say why.
+func (a *Aggregator) closeOutProvenanceLocked(o *Observation, vs *vantageState) {
+	p := o.Event.Prov
+	if p == nil {
+		return
+	}
+	closed := *p
+	closed.IngestedNs = o.ReceivedAtNs
+	closed.ClusteredNs = o.ReceivedAtNs
+	o.Event.Prov = &closed // evidence rows carry the closed-out record
+	if p.PublishedNs > 0 {
+		d := o.ReceivedAtNs - p.PublishedNs
+		if vs.skewSamples == 0 || d < vs.skewNs {
+			vs.skewNs = d
+		}
+		vs.skewSamples++
+	}
+	rec := provenance.Record{
+		DetectedNs:    closed.DetectedNs,
+		PublishedNs:   closed.PublishedNs,
+		JournaledNs:   closed.JournaledNs,
+		WebhookSentNs: closed.WebhookSentNs,
+		IngestedNs:    closed.IngestedNs,
+		ClusteredNs:   closed.ClusteredNs,
+	}
+	for _, l := range rec.Latencies() {
+		a.latency.Observe(l.Segment, o.Vantage, o.Event.ID, l.Ns, l.Clamped)
+		if l.Clamped {
+			a.cfg.Metrics.Counter(obs.LabelMetric(obs.MetricProvenanceSkewTotal, "vantage", o.Vantage)).Inc()
+		}
+	}
 }
 
 // correlateLocked joins the observation to the first compatible
@@ -397,6 +454,7 @@ func evidence(o Observation) Evidence {
 		Streams:   o.Event.Streams,
 		Replicas:  o.Event.Replicas,
 		Truncated: o.Event.Truncated,
+		Prov:      o.Event.Prov,
 	}
 }
 
@@ -495,6 +553,8 @@ func (a *Aggregator) Vantages() []VantageInfo {
 			LastSeenUnixNs: vs.lastSeenNs,
 			Cursor:         vs.cursor,
 			LastErr:        vs.lastErr,
+			SkewNs:         vs.skewNs,
+			SkewSamples:    vs.skewSamples,
 		}
 		if vs.lastSeenNs > 0 && nowNs > vs.lastSeenNs {
 			info.LagNs = nowNs - vs.lastSeenNs
@@ -524,6 +584,12 @@ func sortedSet(m map[string]bool) []string {
 // order across vantages.
 func (a *Aggregator) Stats(q analytics.Query) (*analytics.Stats, error) {
 	return a.stats.Query(q)
+}
+
+// Latency renders the pipeline-latency document, optionally narrowed
+// to one vantage and/or one segment.
+func (a *Aggregator) Latency(vantage, segment string) *analytics.LatencyStats {
+	return a.latency.Snapshot(vantage, segment)
 }
 
 // KnownVantage reports whether the aggregator has state for name.

@@ -9,6 +9,7 @@ import (
 
 	"loopscope/internal/analytics"
 	"loopscope/internal/api"
+	"loopscope/internal/obs/provenance"
 	"loopscope/internal/resil"
 	"loopscope/pkg/loopscope"
 )
@@ -34,6 +35,8 @@ func (a *Aggregator) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/fleet/loops", a.v1FleetLoops)
 	mux.HandleFunc("GET /api/v1/fleet/vantages", a.v1FleetVantages)
 	mux.HandleFunc("GET /api/v1/fleet/stats", a.v1FleetStats)
+	mux.HandleFunc("GET /api/v1/fleet/latency", a.v1FleetLatency)
+	mux.HandleFunc("GET /statusz", a.handleStatusz)
 	mux.HandleFunc("POST /api/v1/ingest", a.v1Ingest)
 	if a.cfg.Metrics != nil {
 		mux.Handle("/", a.cfg.Metrics.Handler())
@@ -144,6 +147,32 @@ func (a *Aggregator) v1FleetStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	api.WriteOK(w, http.StatusOK, st, api.Meta{})
+}
+
+// v1FleetLatency serves GET /api/v1/fleet/latency?vantage=&segment=:
+// the per-(pipeline segment, vantage) provenance latency table, in
+// canonical segment order with vantages sorted within a segment. An
+// unknown vantage is not_found (same discipline as fleet/stats); an
+// unknown segment name is bad_param. The document is a deterministic
+// render of journal-derived state, so two aggregators replaying the
+// same journal serve byte-identical bodies.
+func (a *Aggregator) v1FleetLatency(w http.ResponseWriter, r *http.Request) {
+	if !api.StrictParams(w, r, "vantage", "segment") {
+		return
+	}
+	q := r.URL.Query()
+	vantage := q.Get("vantage")
+	if vantage != "" && !a.KnownVantage(vantage) {
+		api.WriteError(w, http.StatusNotFound, api.ErrNotFound, "unknown vantage "+vantage)
+		return
+	}
+	segment := q.Get("segment")
+	if segment != "" && provenance.SegmentRank(segment) == len(provenance.Segments) {
+		api.WriteError(w, http.StatusBadRequest, api.ErrBadParam,
+			fmt.Sprintf("unknown segment %q (one of %v)", segment, provenance.Segments))
+		return
+	}
+	api.WriteOK(w, http.StatusOK, a.Latency(vantage, segment), api.Meta{})
 }
 
 // ingestResult is POST /api/v1/ingest's response body.

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"loopscope/pkg/loopscope"
 )
@@ -85,6 +86,72 @@ func TestFleetStatsEndpoint(t *testing.T) {
 	one, err := client.FleetStats(ctx, loopscope.FleetStatsQuery{Vantage: "bb2"})
 	if err != nil || one.Loops != 1 {
 		t.Errorf("bb2 stats = %+v, %v; want 1 loop", one, err)
+	}
+}
+
+// The latency endpoint serves the provenance sketch table through the
+// typed client, with the fleet tier's filter and error discipline.
+func TestFleetLatencyEndpoint(t *testing.T) {
+	a, ts, client := fleetServer(t)
+	ctx := context.Background()
+	// The fleetServer seed events carry no provenance; add one that does.
+	now := pinnedNow()
+	o := obsProv("bb1", "10.1.2.0/24", "e9", sec(15), sec(42), now().Add(-30*time.Millisecond))
+	if _, err := a.Ingest(o); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := client.FleetLatency(ctx, loopscope.FleetLatencyQuery{})
+	if err != nil {
+		t.Fatalf("FleetLatency: %v", err)
+	}
+	if len(fl.Segments) == 0 || fl.ErrorBound <= 0 {
+		t.Fatalf("latency document empty: %+v", fl)
+	}
+	var sawE2E bool
+	for _, row := range fl.Segments {
+		if row.Segment == "detect_cluster" && row.Vantage == "bb1" {
+			sawE2E = true
+			if row.Count != 1 || len(row.Exemplars) != 1 || row.Exemplars[0].EventID != "e9" {
+				t.Errorf("detect_cluster row = %+v, want 1 obs with exemplar e9", row)
+			}
+		}
+	}
+	if !sawE2E {
+		t.Fatalf("no detect_cluster row for bb1: %+v", fl.Segments)
+	}
+	one, err := client.FleetLatency(ctx, loopscope.FleetLatencyQuery{Segment: "detect_cluster"})
+	if err != nil || len(one.Segments) != 1 {
+		t.Errorf("segment filter: %+v, %v", one, err)
+	}
+
+	var apiErr *loopscope.APIError
+	_, err = client.FleetLatency(ctx, loopscope.FleetLatencyQuery{Vantage: "nope"})
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Errorf("unknown vantage: %v, want 404", err)
+	}
+	_, err = client.FleetLatency(ctx, loopscope.FleetLatencyQuery{Segment: "bogus"})
+	if !errors.As(err, &apiErr) || apiErr.Code != "bad_param" {
+		t.Errorf("unknown segment: %v, want bad_param", err)
+	}
+
+	// The agg statusz renders the vantage and latency tables.
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page bytes.Buffer
+	if _, err := page.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := page.String()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz: %d", resp.StatusCode)
+	}
+	for _, want := range []string{"loopscope-agg", "pipeline latency", "detect_cluster", "bb1", "e9"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("statusz missing %q", want)
+		}
 	}
 }
 

@@ -1,0 +1,243 @@
+package analytics
+
+import (
+	"sort"
+	"sync"
+
+	"loopscope/internal/obs/provenance"
+)
+
+// This file is the pipeline-provenance analytics: per-hop-segment
+// latency sketches keyed by (segment, vantage), fed by the fleet
+// aggregator from the provenance records riding on ingested events.
+// Like the collector's fleet stats, every ingredient is mergeable and
+// arrival-order-independent — sketch adds commute, clamp counts are
+// plain sums, and exemplar selection is a deterministic top-K — so a
+// journal replay (or a merge across aggregators) reproduces the same
+// latency document byte for byte regardless of observation order.
+
+// latencyExemplarCap bounds the slowest-observation exemplars kept per
+// (segment, vantage) row. Four is enough to hand an operator concrete
+// trail IDs for the slow tail without growing the document.
+const latencyExemplarCap = 4
+
+// LatencyExemplar ties one slow latency observation back to the event
+// that suffered it. The event ID doubles as the originating daemon's
+// flight-recorder trail ID (both are flight.LoopID), so
+// /api/v1/trace/{eventId} on that vantage's daemon serves the decision
+// log behind the number.
+type LatencyExemplar struct {
+	EventID string `json:"eventId"`
+	Ns      int64  `json:"ns"`
+}
+
+// SegmentStats is one (segment, vantage) row of the latency document.
+type SegmentStats struct {
+	Segment string `json:"segment"`
+	Vantage string `json:"vantage"`
+	Count   uint64 `json:"count"`
+	// Clamped counts negative cross-process deltas (vantage clock ahead
+	// of the aggregator) that were clamped to zero and *not* added to
+	// the sketch.
+	Clamped   uint64            `json:"clamped,omitempty"`
+	Mean      float64           `json:"mean"`
+	Min       int64             `json:"min"`
+	Max       int64             `json:"max"`
+	Quantiles map[string]int64  `json:"quantiles"`
+	Buckets   []Bucket          `json:"buckets"`
+	Exemplars []LatencyExemplar `json:"exemplars,omitempty"`
+}
+
+// LatencyStats is the full latency document: rows in canonical
+// segment order (provenance.Segments), vantages sorted within a
+// segment — a deterministic rendering of deterministic state.
+type LatencyStats struct {
+	// ErrorBound is the sketches' relative quantile error (SketchAlpha).
+	ErrorBound float64        `json:"errorBound"`
+	Segments   []SegmentStats `json:"segments"`
+}
+
+// latencyCell is one (segment, vantage) accumulation.
+type latencyCell struct {
+	Sketch    Sketch            `json:"sketch"`
+	Clamped   uint64            `json:"clamped,omitempty"`
+	Exemplars []LatencyExemplar `json:"exemplars,omitempty"`
+}
+
+// LatencyStore accumulates per-segment, per-vantage latency sketches.
+// Safe for concurrent use; the zero value is not usable, construct
+// with NewLatencyStore.
+type LatencyStore struct {
+	mu    sync.Mutex
+	cells map[string]map[string]*latencyCell // segment -> vantage
+}
+
+// NewLatencyStore returns an empty store.
+func NewLatencyStore() *LatencyStore {
+	return &LatencyStore{cells: make(map[string]map[string]*latencyCell)}
+}
+
+// Observe folds one segment latency in. A clamped observation (the
+// caller detected a negative cross-process delta) only increments the
+// clamp counter — it never reaches the sketch, so skew cannot corrupt
+// the histogram's low buckets. Nil-safe: a nil store ignores the call.
+func (s *LatencyStore) Observe(segment, vantage, eventID string, ns int64, clamped bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.cellLocked(segment, vantage)
+	if clamped {
+		c.Clamped++
+		return
+	}
+	c.Sketch.Add(ns)
+	c.noteExemplar(eventID, ns)
+}
+
+func (s *LatencyStore) cellLocked(segment, vantage string) *latencyCell {
+	byV := s.cells[segment]
+	if byV == nil {
+		byV = make(map[string]*latencyCell)
+		s.cells[segment] = byV
+	}
+	c := byV[vantage]
+	if c == nil {
+		c = &latencyCell{}
+		byV[vantage] = c
+	}
+	return c
+}
+
+// noteExemplar keeps the slowest latencyExemplarCap observations,
+// ordered slowest first with event-ID ties broken lexically — a pure
+// function of the observation *set*, so arrival order cannot change
+// which exemplars survive.
+func (c *latencyCell) noteExemplar(eventID string, ns int64) {
+	if eventID == "" {
+		return
+	}
+	for _, e := range c.Exemplars {
+		if e.EventID == eventID && e.Ns == ns {
+			return // replay-merge safety: the same observation twice
+		}
+	}
+	c.Exemplars = append(c.Exemplars, LatencyExemplar{EventID: eventID, Ns: ns})
+	sort.Slice(c.Exemplars, func(i, j int) bool {
+		if c.Exemplars[i].Ns != c.Exemplars[j].Ns {
+			return c.Exemplars[i].Ns > c.Exemplars[j].Ns
+		}
+		return c.Exemplars[i].EventID < c.Exemplars[j].EventID
+	})
+	if len(c.Exemplars) > latencyExemplarCap {
+		c.Exemplars = c.Exemplars[:latencyExemplarCap]
+	}
+}
+
+// Merge folds another store in (fleet-of-fleets aggregation). Sketch
+// merges are element-wise and exactly associative/commutative, clamp
+// counts add, and exemplar selection re-runs the same deterministic
+// top-K, so merge order does not matter.
+func (s *LatencyStore) Merge(other *LatencyStore) {
+	if s == nil || other == nil {
+		return
+	}
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for seg, byV := range other.cells {
+		for vantage, oc := range byV {
+			c := s.cellLocked(seg, vantage)
+			c.Sketch.Merge(&oc.Sketch)
+			c.Clamped += oc.Clamped
+			for _, e := range oc.Exemplars {
+				c.noteExemplar(e.EventID, e.Ns)
+			}
+		}
+	}
+}
+
+// Snapshot renders the latency document. Optional filters narrow to
+// one vantage and/or one segment; empty strings keep everything.
+func (s *LatencyStore) Snapshot(vantage, segment string) *LatencyStats {
+	st := &LatencyStats{ErrorBound: SketchAlpha, Segments: []SegmentStats{}}
+	if s == nil {
+		return st
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	segs := make([]string, 0, len(s.cells))
+	for seg := range s.cells {
+		if segment != "" && seg != segment {
+			continue
+		}
+		segs = append(segs, seg)
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		ri, rj := provenance.SegmentRank(segs[i]), provenance.SegmentRank(segs[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return segs[i] < segs[j]
+	})
+	for _, seg := range segs {
+		byV := s.cells[seg]
+		vantages := make([]string, 0, len(byV))
+		for v := range byV {
+			if vantage != "" && v != vantage {
+				continue
+			}
+			vantages = append(vantages, v)
+		}
+		sort.Strings(vantages)
+		for _, v := range vantages {
+			c := byV[v]
+			row := SegmentStats{
+				Segment:   seg,
+				Vantage:   v,
+				Count:     c.Sketch.Count(),
+				Clamped:   c.Clamped,
+				Mean:      c.Sketch.Mean(),
+				Quantiles: make(map[string]int64, len(quantilePoints)),
+				Buckets:   c.Sketch.Buckets(),
+			}
+			if row.Buckets == nil {
+				row.Buckets = []Bucket{}
+			}
+			if row.Count > 0 {
+				row.Min, row.Max = c.Sketch.Min, c.Sketch.Max
+			}
+			for _, qp := range quantilePoints {
+				row.Quantiles[qp.name] = c.Sketch.Quantile(qp.q)
+			}
+			if len(c.Exemplars) > 0 {
+				row.Exemplars = append([]LatencyExemplar(nil), c.Exemplars...)
+			}
+			st.Segments = append(st.Segments, row)
+		}
+	}
+	return st
+}
+
+// Vantages lists the vantages the store has rows for, sorted.
+func (s *LatencyStore) Vantages() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[string]bool{}
+	for _, byV := range s.cells {
+		for v := range byV {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

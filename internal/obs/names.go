@@ -88,6 +88,10 @@ const (
 	MetricAggVantageLagNs  = "loopscope_agg_vantage_lag_ns"
 	MetricAggPollErrors    = "loopscope_agg_poll_errors_total"
 	MetricAggJournalErrors = "loopscope_agg_journal_errors_total"
+	// MetricProvenanceSkewTotal counts negative cross-process
+	// provenance latencies (vantage clock ahead of the aggregator)
+	// that were clamped to zero instead of entering a latency sketch.
+	MetricProvenanceSkewTotal = "loopscope_provenance_skew_total"
 )
 
 // DetectLatencyBounds are the default bucket upper bounds (in
@@ -155,13 +159,14 @@ var metricHelp = map[string]string{
 	MetricAnalyticsDeduped:      "Replayed loop events suppressed by the analytics seen-ID ring.",
 	MetricFaultsInjected:        "Faults injected by the chaos plan (test builds only).",
 
-	MetricAggObservations:  "Loop observations accepted per vantage.",
-	MetricAggDuplicates:    "Redelivered observations suppressed per vantage.",
-	MetricAggFleetLoops:    "Deduplicated fleet-level loops currently known.",
-	MetricAggVantages:      "Vantages the aggregator has heard from.",
-	MetricAggVantageLagNs:  "Nanoseconds since a vantage's last observation arrived.",
-	MetricAggPollErrors:    "Failed pull-transport poll rounds per vantage.",
-	MetricAggJournalErrors: "Observation journal append failures.",
+	MetricAggObservations:     "Loop observations accepted per vantage.",
+	MetricAggDuplicates:       "Redelivered observations suppressed per vantage.",
+	MetricAggFleetLoops:       "Deduplicated fleet-level loops currently known.",
+	MetricAggVantages:         "Vantages the aggregator has heard from.",
+	MetricAggVantageLagNs:     "Nanoseconds since a vantage's last observation arrived.",
+	MetricAggPollErrors:       "Failed pull-transport poll rounds per vantage.",
+	MetricAggJournalErrors:    "Observation journal append failures.",
+	MetricProvenanceSkewTotal: "Clock-skewed provenance latencies clamped per vantage.",
 
 	"loopscope_stage_seconds_total": "Wall-clock seconds spent per pipeline stage.",
 	"loopscope_stage_runs_total":    "Completed spans per pipeline stage.",

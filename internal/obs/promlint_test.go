@@ -179,6 +179,7 @@ func TestPrometheusExpositionValid(t *testing.T) {
 	r.Counter(ShardMetric(MetricShardRecords, 0)).Add(10)
 	r.Counter(ShardMetric(MetricShardRecords, 1)).Add(20)
 	r.Counter(LabelMetric(MetricLogMessages, "level", "error")).Inc()
+	r.Counter(LabelMetric(MetricProvenanceSkewTotal, "vantage", "bb1")).Inc()
 	r.Gauge(MetricEngineWorkers).Set(4)
 	r.Gauge(LabelMetric(MetricServeSourceLagBytes, "source", "bb1")).Set(9)
 	h := r.Histogram(MetricBatchFill, []int64{10, 100, 1000})

@@ -1,0 +1,192 @@
+// Package provenance is the pipeline's per-event timing record: a
+// small set of hop timestamps that travels *with* each loop event from
+// the detector that committed it to the fleet cluster that absorbed
+// it, so an operator can ask "where did the time go" about one
+// concrete event instead of correlating per-tier metrics after the
+// fact.
+//
+// Hop model. Six hops cover the detect → publish → journal/webhook →
+// agg-ingest → cluster pipeline:
+//
+//	detected      the source's detector committed the loop (serve emit)
+//	published     the daemon's fan-out began (serve publish)
+//	journaled     the daemon's journal append returned (durable)
+//	webhook_sent  the webhook worker began the delivery attempt (push only)
+//	ingested      the aggregator accepted the observation
+//	clustered     the observation landed in a FleetLoop
+//
+// Clock discipline. Every stamp is wall-clock unix nanoseconds, but
+// stamps taken inside one process all come from Now(), which anchors
+// the wall clock once at process start and advances it by the
+// monotonic clock — so same-process deltas (detect→publish,
+// publish→journal, publish→webhook_sent) are exact even across NTP
+// steps. Deltas that cross a process boundary (anything involving
+// ingested/clustered, which the aggregator stamps with *its* clock)
+// inherit the inter-host offset; the aggregator estimates that skew
+// per vantage from ingest-time deltas and clamps negative per-hop
+// latencies to zero rather than feeding them into histograms
+// (Latencies marks them Clamped; loopscope_provenance_skew_total
+// counts them).
+//
+// The ingested and clustered stamps are equal in the current
+// synchronous aggregator (clustering happens under the ingest lock),
+// and both are the journaled arrival stamp — which is what lets a
+// kill -9 journal replay reproduce every latency sketch byte for
+// byte: no wall clock is read while closing out replayed records.
+package provenance
+
+import "time"
+
+// Hop names, also the keys of the aggregated latency table.
+const (
+	HopDetected    = "detected"
+	HopPublished   = "published"
+	HopJournaled   = "journaled"
+	HopWebhookSent = "webhook_sent"
+	HopIngested    = "ingested"
+	HopClustered   = "clustered"
+)
+
+// Segment names: the hop-to-hop latencies the aggregator sketches,
+// keyed (segment, vantage). publish_ingest is the transport segment
+// both push and pull share; send_ingest refines it for push;
+// detect_cluster is the end-to-end figure an operator cares about.
+const (
+	SegDetectPublish  = "detect_publish"
+	SegPublishJournal = "publish_journal"
+	SegPublishSend    = "publish_send"
+	SegSendIngest     = "send_ingest"
+	SegPublishIngest  = "publish_ingest"
+	SegIngestCluster  = "ingest_cluster"
+	SegDetectCluster  = "detect_cluster"
+)
+
+// Segments is the canonical rendering order of the latency table.
+var Segments = []string{
+	SegDetectPublish, SegPublishJournal, SegPublishSend,
+	SegSendIngest, SegPublishIngest, SegIngestCluster, SegDetectCluster,
+}
+
+// SegmentRank orders segments for deterministic documents; unknown
+// segments sort last.
+func SegmentRank(seg string) int {
+	for i, s := range Segments {
+		if s == seg {
+			return i
+		}
+	}
+	return len(Segments)
+}
+
+// Record is the wire-format hop-timestamp record riding on a loop
+// event ("prov" in the event JSON). All stamps are wall-clock unix
+// nanoseconds (see the package comment for the monotonic anchoring);
+// zero means the hop has not happened (or does not apply — a pulled
+// event never has a webhook_sent stamp).
+//
+// Records are treated as immutable once attached to an event: Stamp
+// copies on write, so the ring's copy, the journal line, and the
+// webhook payload can diverge in later stamps without aliasing.
+type Record struct {
+	DetectedNs    int64 `json:"detectedNs,omitempty"`
+	PublishedNs   int64 `json:"publishedNs,omitempty"`
+	JournaledNs   int64 `json:"journaledNs,omitempty"`
+	WebhookSentNs int64 `json:"webhookSentNs,omitempty"`
+	IngestedNs    int64 `json:"ingestedNs,omitempty"`
+	ClusteredNs   int64 `json:"clusteredNs,omitempty"`
+}
+
+// base anchors Now(): wall clock captured once, advanced monotonically.
+var base = time.Now()
+
+// Now returns monotonic-anchored wall-clock nanoseconds: the process
+// start's wall reading plus monotonic elapsed time. Within one process
+// it never goes backwards, so same-process hop deltas are exact.
+func Now() int64 {
+	return base.Add(time.Since(base)).UnixNano()
+}
+
+// Stamp returns a record with the hop set to ns, copying on write (a
+// nil receiver allocates a fresh record). ns <= 0 or an unknown hop
+// returns the receiver unchanged — in particular, stamping nothing
+// onto a nil record stays nil and allocation-free, which is the
+// provenance-disabled no-op path.
+func (r *Record) Stamp(hop string, ns int64) *Record {
+	if ns <= 0 {
+		return r
+	}
+	var nr Record
+	if r != nil {
+		nr = *r
+	}
+	switch hop {
+	case HopDetected:
+		nr.DetectedNs = ns
+	case HopPublished:
+		nr.PublishedNs = ns
+	case HopJournaled:
+		nr.JournaledNs = ns
+	case HopWebhookSent:
+		nr.WebhookSentNs = ns
+	case HopIngested:
+		nr.IngestedNs = ns
+	case HopClustered:
+		nr.ClusteredNs = ns
+	default:
+		return r
+	}
+	return &nr
+}
+
+// Clone returns a copy (nil stays nil).
+func (r *Record) Clone() *Record {
+	if r == nil {
+		return nil
+	}
+	nr := *r
+	return &nr
+}
+
+// SegmentLatency is one hop-to-hop delta computed from a record.
+type SegmentLatency struct {
+	Segment string
+	// Ns is the latency; zero when Clamped.
+	Ns int64
+	// Clamped marks a negative cross-process delta (the downstream
+	// clock read earlier than the upstream one — inter-host skew). The
+	// value is clamped to zero and must be counted, never sketched.
+	Clamped bool
+	// CrossProcess marks segments whose endpoints were stamped by
+	// different processes; only these can legitimately clamp.
+	CrossProcess bool
+}
+
+// Latencies computes every segment both of whose endpoint stamps are
+// present, in canonical order. Negative deltas are clamped and
+// marked; a same-process negative delta is impossible by construction
+// (monotonic anchoring) but clamped anyway for robustness against
+// hand-built records.
+func (r *Record) Latencies() []SegmentLatency {
+	if r == nil {
+		return nil
+	}
+	out := make([]SegmentLatency, 0, len(Segments))
+	add := func(seg string, from, to int64, cross bool) {
+		if from <= 0 || to <= 0 {
+			return
+		}
+		l := SegmentLatency{Segment: seg, Ns: to - from, CrossProcess: cross}
+		if l.Ns < 0 {
+			l.Ns, l.Clamped = 0, true
+		}
+		out = append(out, l)
+	}
+	add(SegDetectPublish, r.DetectedNs, r.PublishedNs, false)
+	add(SegPublishJournal, r.PublishedNs, r.JournaledNs, false)
+	add(SegPublishSend, r.PublishedNs, r.WebhookSentNs, false)
+	add(SegSendIngest, r.WebhookSentNs, r.IngestedNs, true)
+	add(SegPublishIngest, r.PublishedNs, r.IngestedNs, true)
+	add(SegIngestCluster, r.IngestedNs, r.ClusteredNs, true)
+	add(SegDetectCluster, r.DetectedNs, r.ClusteredNs, true)
+	return out
+}

@@ -22,6 +22,7 @@ import (
 
 	"loopscope/internal/core"
 	"loopscope/internal/obs/flight"
+	"loopscope/internal/obs/provenance"
 )
 
 // Event is one routing-loop detection, the unit every sink consumes.
@@ -58,6 +59,13 @@ type Event struct {
 	Escaped     int   `json:"escaped,omitempty"`
 	Truncated   bool  `json:"truncated,omitempty"`
 	EmittedAtNs int64 `json:"emittedAtNs"`
+	// Prov is the pipeline-provenance hop record: stamped as the event
+	// moves detect → publish → journal/webhook, carried verbatim over
+	// both transports, and closed out (ingested/clustered) by the fleet
+	// aggregator. Treated as immutable — stamping copies on write, so
+	// the ring copy, the journal line, and each webhook payload diverge
+	// without aliasing. Nil on events from pre-provenance daemons.
+	Prov *provenance.Record `json:"prov,omitempty"`
 }
 
 // newEvent renders a session emission as a sink event.

@@ -15,6 +15,7 @@ import (
 	"loopscope/internal/core"
 	"loopscope/internal/obs"
 	"loopscope/internal/obs/flight"
+	"loopscope/internal/obs/provenance"
 	"loopscope/internal/resil"
 )
 
@@ -224,10 +225,27 @@ func (d *Daemon) Health() *resil.HealthSet { return d.health }
 // The internal ring (the HTTP API's backing store) is always attached.
 func (d *Daemon) AddSink(s Sink) { d.sinks = append(d.sinks, s) }
 
-// publish fans one event out to the ring and every sink.
+// publish fans one event out to the ring and every sink, stamping
+// provenance as it goes: the published hop on entry, the journaled hop
+// after the journal's synchronous append returns — so the ring copy
+// (pull transport) and the webhook payloads (push transport) both
+// carry the journal-durability stamp. The journal line itself cannot
+// contain its own completion stamp (it is written before the stamp
+// exists); that is intentional and documented in the provenance
+// package.
 func (d *Daemon) publish(e Event) {
+	e.Prov = e.Prov.Stamp(provenance.HopPublished, provenance.Now())
+	for _, s := range d.sinks {
+		if j, ok := s.(*Journal); ok {
+			j.Publish(e)
+			e.Prov = e.Prov.Stamp(provenance.HopJournaled, provenance.Now())
+		}
+	}
 	d.ring.Publish(e)
 	for _, s := range d.sinks {
+		if _, ok := s.(*Journal); ok {
+			continue
+		}
 		s.Publish(e)
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"loopscope/internal/core"
 	"loopscope/internal/obs"
+	"loopscope/internal/obs/provenance"
 	"loopscope/internal/resil"
 	"loopscope/internal/trace"
 )
@@ -133,6 +134,7 @@ func (s *sourceState) emit(se core.SessionEvent) {
 		s.finalC.Inc()
 	}
 	ev := newEvent(s.name, s.link, s.d.cfg.Vantage, se, time.Now())
+	ev.Prov = ev.Prov.Stamp(provenance.HopDetected, provenance.Now())
 	// Detection latency on the trace clock: how far the stream had
 	// advanced past the loop's end before the detector could commit it.
 	if lat := int64(s.sess.HighWater() - se.Loop.End); lat >= 0 {

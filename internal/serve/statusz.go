@@ -49,12 +49,12 @@ th { background: #eee; }
 
 <h2>recent loops</h2>
 <table>
-<tr><th>id</th><th>source</th><th>prefix</th><th class=num>streams</th><th class=num>replicas</th><th class=num>duration</th><th>truncated</th></tr>
+<tr><th>id</th><th>source</th><th>prefix</th><th class=num>streams</th><th class=num>replicas</th><th class=num>duration</th><th class=num>detect&rarr;journal</th><th>truncated</th></tr>
 {{range .Recent}}<tr>
 <td>{{if $.FlightOn}}<a href="/api/v1/trace/{{.ID}}">{{.ID}}</a>{{else}}{{.ID}}{{end}}</td>
 <td>{{.Source}}</td><td>{{.Prefix}}</td>
 <td class=num>{{.Streams}}</td><td class=num>{{.Replicas}}</td>
-<td class=num>{{.Duration}}</td><td>{{if .Truncated}}yes{{end}}</td>
+<td class=num>{{.Duration}}</td><td class=num>{{.Pipeline}}</td><td>{{if .Truncated}}yes{{end}}</td>
 </tr>{{end}}
 </table>
 
@@ -86,12 +86,15 @@ th { background: #eee; }
 `))
 
 type statuszRecent struct {
-	ID        string
-	Source    string
-	Prefix    string
-	Streams   int
-	Replicas  int
-	Duration  time.Duration
+	ID       string
+	Source   string
+	Prefix   string
+	Streams  int
+	Replicas int
+	Duration time.Duration
+	// Pipeline is the local detect→journal provenance latency, the
+	// daemon-side slice of the end-to-end figure the agg statusz shows.
+	Pipeline  string
 	Truncated bool
 }
 
@@ -180,12 +183,19 @@ func (d *Daemon) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 
 	var recent []statuszRecent
 	for _, e := range d.ring.Latest(20) {
-		recent = append(recent, statuszRecent{
+		row := statuszRecent{
 			ID: e.ID, Source: e.Source, Prefix: e.Prefix,
 			Streams: e.Streams, Replicas: e.Replicas,
 			Duration:  time.Duration(e.DurationNs).Round(time.Millisecond),
 			Truncated: e.Truncated,
-		})
+		}
+		// The ring copy carries the journaled stamp (publish stamps it
+		// before the ring sees the event), so detect→journal is the
+		// widest same-process pipeline segment available here.
+		if p := e.Prov; p != nil && p.DetectedNs > 0 && p.JournaledNs > 0 {
+			row.Pipeline = time.Duration(p.JournaledNs - p.DetectedNs).Round(time.Microsecond).String()
+		}
+		recent = append(recent, row)
 	}
 
 	data := struct {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"loopscope/internal/obs"
+	"loopscope/internal/obs/provenance"
 	"loopscope/internal/resil"
 )
 
@@ -177,6 +178,10 @@ func (w *Webhook) run(ctx context.Context) {
 // network, so a dead endpoint costs the queue its backoff sleeps but
 // not MaxRetries HTTP timeouts per event.
 func (w *Webhook) deliver(ctx context.Context, e Event, r *resil.Retrier) {
+	// Stamp just before serialization so the hop captures queue wait:
+	// publish→webhook_sent is the time the event spent behind earlier
+	// deliveries, the signal that the push path is backlogged.
+	e.Prov = e.Prov.Stamp(provenance.HopWebhookSent, provenance.Now())
 	body, err := json.Marshal(e)
 	if err != nil {
 		w.dropped.Inc()

@@ -95,6 +95,24 @@ type Event struct {
 	Escaped     int    `json:"escaped,omitempty"`
 	Truncated   bool   `json:"truncated,omitempty"`
 	EmittedAtNs int64  `json:"emittedAtNs"`
+	// Prov is the pipeline-provenance hop record riding with the
+	// event; nil from pre-provenance daemons.
+	Prov *Provenance `json:"prov,omitempty"`
+}
+
+// Provenance mirrors the per-event hop-timestamp record ("prov" in
+// event JSON): wall-clock unix nanoseconds per pipeline hop, zero
+// meaning the hop has not happened or does not apply (a pulled event
+// never has a webhook_sent stamp). Same-process stamps are
+// monotonic-anchored by the producer; cross-process deltas inherit
+// inter-host skew — see the aggregator's per-vantage skew estimate.
+type Provenance struct {
+	DetectedNs    int64 `json:"detectedNs,omitempty"`
+	PublishedNs   int64 `json:"publishedNs,omitempty"`
+	JournaledNs   int64 `json:"journaledNs,omitempty"`
+	WebhookSentNs int64 `json:"webhookSentNs,omitempty"`
+	IngestedNs    int64 `json:"ingestedNs,omitempty"`
+	ClusteredNs   int64 `json:"clusteredNs,omitempty"`
 }
 
 // LoopEvent is one row of GET /api/v1/loops: the event plus its ring

@@ -26,6 +26,10 @@ type FleetEvidence struct {
 	Streams   int    `json:"streams"`
 	Replicas  int    `json:"replicas"`
 	Truncated bool   `json:"truncated,omitempty"`
+	// Prov is the closed-out provenance record: the daemon-side stamps
+	// the event arrived with plus the aggregator's ingested/clustered
+	// stamps. Nil for observations from pre-provenance daemons.
+	Prov *Provenance `json:"prov,omitempty"`
 }
 
 // FleetLoop is one deduplicated routing loop as the aggregator sees
@@ -67,6 +71,15 @@ type FleetVantage struct {
 	Cursor  int64  `json:"cursor,omitempty"`
 	Health  string `json:"health,omitempty"`
 	LastErr string `json:"lastError,omitempty"`
+	// SkewNs is the aggregator's estimate of this vantage's clock
+	// offset: the minimum observed (ingest wall clock − event publish
+	// stamp). Negative means the vantage's clock runs ahead of the
+	// aggregator's; such events produce clamped (not sketched)
+	// cross-process latencies. Only meaningful when SkewSamples > 0.
+	SkewNs int64 `json:"skewNs,omitempty"`
+	// SkewSamples counts the provenance-carrying observations behind
+	// the estimate; zero means no estimate.
+	SkewSamples int64 `json:"skewSamples,omitempty"`
 }
 
 // FleetLoopsQuery selects GET /api/v1/fleet/loops. Zero values mean

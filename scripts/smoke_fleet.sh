@@ -119,6 +119,51 @@ if [ -z "$stat_loops" ] || [ "$stat_loops" != "$((obs1 + obs2))" ]; then
 fi
 echo "OK: $loops fleet loops deduplicated from $((obs1 + obs2)) observations, all dual-attributed"
 
+echo "== pipeline provenance: detect->cluster latency populated for both vantages"
+"$work/bin/lsq" -addr "$aggurl" fleet latency -json > "$work/fleet-latency.json"
+flat_latency="$(tr -d ' \n' < "$work/fleet-latency.json")"
+for v in bb1 bb2; do
+    if ! echo "$flat_latency" | grep -q "\"segment\":\"detect_cluster\",\"vantage\":\"$v\""; then
+        echo "FAIL: no detect_cluster latency row for vantage $v" >&2
+        cat "$work/fleet-latency.json" >&2
+        exit 1
+    fi
+done
+# Each vantage's detect->cluster histogram must have absorbed every
+# observation the aggregator accepted from it.
+lat_counts="$(echo "$flat_latency" \
+    | grep -o '"segment":"detect_cluster","vantage":"bb[12]","count":[0-9]*' \
+    | sed 's/.*"count"://')"
+for c in $lat_counts; do
+    if [ "$c" != "$obs1" ]; then
+        echo "FAIL: detect_cluster count $c, want $obs1 per vantage" >&2
+        cat "$work/fleet-latency.json" >&2
+        exit 1
+    fi
+done
+# The human table is the operator's entry point; render it for the log.
+"$work/bin/lsq" -addr "$aggurl" fleet latency -vantage bb2
+
+echo "== exemplar trail IDs resolve against the originating daemon"
+trail_id="$(echo "$flat_latency" \
+    | grep -o '"segment":"detect_cluster","vantage":"bb2".*' \
+    | grep -o '"eventId":"[^"]*"' | head -n1 | sed 's/"eventId":"\(.*\)"/\1/')"
+if [ -z "$trail_id" ]; then
+    echo "FAIL: no exemplar on bb2's detect_cluster row" >&2
+    cat "$work/fleet-latency.json" >&2
+    exit 1
+fi
+if ! "$work/bin/lsq" -addr "$bb2url" trace "$trail_id" > "$work/trail.json"; then
+    echo "FAIL: exemplar trail $trail_id did not resolve at bb2's /api/v1/trace" >&2
+    exit 1
+fi
+if ! grep -q "\"$trail_id\"" "$work/trail.json"; then
+    echo "FAIL: bb2 trace response does not echo trail id $trail_id" >&2
+    cat "$work/trail.json" >&2
+    exit 1
+fi
+echo "OK: detect->cluster histograms cover all $obs1 observations per vantage; exemplar $trail_id resolved"
+
 echo "== kill -9 the aggregator; a journal replay must serve the same set"
 loop_ids() { sed -n 's/.*"id": "\(f[0-9a-f]*\)".*/\1/p' "$1" | sort; }
 ref_ids="$(loop_ids "$work/fleet-loops.json")"
@@ -136,10 +181,19 @@ if [ "$ref_ids" != "$replay_ids" ]; then
     diff <(echo "$ref_ids") <(echo "$replay_ids") >&2 || true
     exit 1
 fi
+# Provenance close-out reads only journaled stamps, so the replayed
+# aggregator must reproduce the pipeline-latency document byte for
+# byte — sketches, quantiles, exemplars and all.
+"$work/bin/lsq" -addr "$aggurl2" fleet latency -json > "$work/fleet-latency2.json"
+if ! cmp -s "$work/fleet-latency.json" "$work/fleet-latency2.json"; then
+    echo "FAIL: pipeline-latency document changed across kill -9 + journal replay" >&2
+    diff "$work/fleet-latency.json" "$work/fleet-latency2.json" >&2 || true
+    exit 1
+fi
 kill "$agg2pid" 2>/dev/null || true
 wait "$agg2pid" 2>/dev/null || true
 
 if [ -n "${FLEET_SMOKE_JOURNAL:-}" ]; then
     cp "$work/agg.jsonl" "$FLEET_SMOKE_JOURNAL"
 fi
-echo "OK: journal replay reproduced all $loops fleet loops after kill -9"
+echo "OK: journal replay reproduced all $loops fleet loops and the latency document byte-identically after kill -9"

@@ -75,7 +75,17 @@ if [ -n "$dups" ]; then
     echo "$dups" >&2
     exit 1
 fi
-echo "OK: $(echo "$ref_finals" | wc -l) final loops, identical sets, no duplicate IDs"
+# Every journaled event must carry its provenance stamps up to the
+# publish hop (the journaled hop itself lands after the line is
+# written, so it can only appear downstream).
+prov_lines="$(grep -c '"prov":{"detectedNs":[0-9]*,"publishedNs":[0-9]*' "$work/ref.jsonl")" || prov_lines=0
+journal_lines="$(wc -l < "$work/ref.jsonl")"
+if [ "$prov_lines" -lt 1 ] || [ "$prov_lines" != "$journal_lines" ]; then
+    echo "FAIL: only $prov_lines of $journal_lines journal lines carry detect/publish provenance" >&2
+    head -n3 "$work/ref.jsonl" >&2
+    exit 1
+fi
+echo "OK: $(echo "$ref_finals" | wc -l) final loops, identical sets, no duplicate IDs, provenance on all $journal_lines journal lines"
 
 echo "== observability run: /statusz and /api/trace round-trip"
 if command -v curl >/dev/null 2>&1; then
